@@ -1,0 +1,26 @@
+"""Fig. 9: sensitivity to the context-switch trigger threshold.
+
+Paper result: the 2 us threshold (matching the measured switch overhead)
+is best; raising it toward 80 us forfeits profitable switches and costs
+up to ~2x on switch-sensitive workloads.
+"""
+
+from conftest import bench_records, print_series
+
+from repro.experiments.design import fig9_threshold_sweep
+
+
+def test_fig09_threshold(benchmark):
+    thresholds = (2, 10, 40, 80)
+    rows = benchmark.pedantic(
+        fig9_threshold_sweep,
+        kwargs={"records": bench_records(), "thresholds_us": thresholds},
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Fig. 9: normalized execution time vs threshold (2us = 1.0)", rows)
+    for wl, sweep in rows.items():
+        assert sweep[2] == 1.0
+        # The largest threshold (fewest switches) should not beat the
+        # tuned 2us default by more than noise.
+        assert sweep[80] >= 0.9

@@ -1,0 +1,32 @@
+"""Fig. 20: flash write traffic vs write-log size.
+
+Paper result: larger logs coalesce more rewrites before each compaction,
+so traffic falls steeply with log size -- especially for workloads with
+strong temporal write locality (srad, tpcc).
+"""
+
+from conftest import bench_records, print_series
+
+from repro.config import KB
+from repro.experiments.sensitivity import fig20_log_size_traffic
+
+
+def test_fig20_logsize_traffic(benchmark):
+    sizes = (16 * KB, 64 * KB, 128 * KB, 256 * KB)
+    rows = benchmark.pedantic(
+        fig20_log_size_traffic,
+        kwargs={
+            "records": bench_records(),
+            "workloads": ["bc", "srad", "tpcc"],
+            "log_sizes": sizes,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    series = {
+        wl: {f"{s//KB}KB": t for s, t in sweep.items()} for wl, sweep in rows.items()
+    }
+    print_series("Fig. 20: write traffic vs log size (smallest = 1.0)", series)
+    for wl, sweep in rows.items():
+        # The biggest log must not write more than the smallest.
+        assert sweep[256 * KB] <= sweep[16 * KB] * 1.05

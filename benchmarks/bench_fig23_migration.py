@@ -1,0 +1,37 @@
+"""Fig. 23: alternative page migration mechanisms.
+
+Paper result (normalized to SkyByte-C): SkyByte-CP beats SkyByte-CT
+(TPP's sampling is less precise than per-page counters) and
+AstriFlash-CXL (fully-associative hot-page placement beats
+set-associative on-demand paging) by ~1.09x; SkyByte-WCT shows the write
+log also composes with TPP; SkyByte-Full is best overall.
+"""
+
+from conftest import bench_records, geomean, print_table
+
+from repro.experiments.migration_study import fig23_migration_mechanisms
+
+
+def test_fig23_migration(benchmark):
+    rows = benchmark.pedantic(
+        fig23_migration_mechanisms,
+        kwargs={"records": bench_records()},
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Fig. 23: normalized time (SkyByte-C = 1.0, lower is better)", rows)
+    gm = {
+        v: geomean([rows[wl][v] for wl in rows]) for v in next(iter(rows.values()))
+    }
+    print("geomean:", {v: round(t, 3) for v, t in gm.items()})
+    # Shape: exact per-page tracking (CP) is not worse than sampling
+    # (CT), migration beats no-migration, and the full design is the
+    # best of the SkyByte mechanisms.  (AstriFlash-CXL over-performs at
+    # this scale relative to the paper's 1.09x CP advantage -- its
+    # on-demand host cache pays no CXL protocol cost and short traces
+    # never expose its conflict-miss weakness; see EXPERIMENTS.md.)
+    assert gm["SkyByte-CP"] <= gm["SkyByte-CT"] * 1.1
+    assert gm["SkyByte-CP"] < 1.0  # migration helps over SkyByte-C
+    skybyte_only = {v: t for v, t in gm.items() if v.startswith("SkyByte")}
+    assert gm["SkyByte-Full"] <= min(t for v, t in skybyte_only.items()
+                                     if v != "SkyByte-Full") * 1.05

@@ -1,0 +1,51 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation.  Trace length per thread is controlled by REPRO_BENCH_RECORDS
+(default 1500) so the full suite stays laptop-friendly; raise it for
+higher-fidelity numbers.
+"""
+
+import os
+from typing import Dict, Mapping
+
+
+def bench_records() -> int:
+    return int(os.environ.get("REPRO_BENCH_RECORDS", "1500"))
+
+
+def print_table(title: str, rows: Mapping[str, Mapping[str, object]]) -> None:
+    """Render {row: {column: value}} as an aligned text table."""
+    print(f"\n=== {title} ===")
+    columns = []
+    for row in rows.values():
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    width = max((len(str(r)) for r in rows), default=8) + 2
+    header = " " * width + "".join(f"{str(c):>14}" for c in columns)
+    print(header)
+    for name, row in rows.items():
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>14.3f}")
+            else:
+                cells.append(f"{str(value):>14}")
+        print(f"{str(name):<{width}}" + "".join(cells))
+
+
+def print_series(title: str, series: Mapping[str, Mapping[object, float]]) -> None:
+    """Render {name: {x: y}} sweeps."""
+    print(f"\n=== {title} ===")
+    for name, points in series.items():
+        pts = "  ".join(f"{x}:{y:.3f}" for x, y in points.items())
+        print(f"  {name}: {pts}")
+
+
+def geomean(values) -> float:
+    import math
+
+    values = [max(v, 1e-12) for v in values]
+    return math.exp(sum(map(math.log, values)) / len(values)) if values else 0.0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Cheap flash, same performance: SkyByte across NAND technologies.
+
+The paper's Fig. 22 argues that SkyByte makes slower-but-cheaper
+commodity NAND viable for parallelizable applications: the write log and
+context switching exist precisely to hide flash latency, so their value
+grows as the flash gets slower.  This example sweeps the four Table IV
+flash technologies and shows Base-CSSD degrading much faster than
+SkyByte-Full.
+
+Run:
+    python examples/flash_scaling.py
+"""
+
+from repro import FLASH_TIMINGS, run_workload
+
+RECORDS = 2000
+
+
+def main():
+    workload = "srad"
+    print(f"=== {workload} across NAND technologies (paper Fig. 22) ===\n")
+    print(f"  {'flash':6s} {'tR':>6s} {'tProg':>7s}  "
+          f"{'Base-CSSD':>10s} {'SkyByte-Full':>13s} {'advantage':>10s}")
+
+    ull_base = None
+    for timing in ("ULL", "ULL2", "SLC", "MLC"):
+        t = FLASH_TIMINGS[timing]
+        base = run_workload(workload, "Base-CSSD",
+                            records_per_thread=RECORDS, timing=timing)
+        full = run_workload(workload, "SkyByte-Full",
+                            records_per_thread=RECORDS, timing=timing)
+        if ull_base is None:
+            ull_base = base
+        base_rel = base.stats.throughput_ipns / ull_base.stats.throughput_ipns
+        full_rel = full.stats.throughput_ipns / ull_base.stats.throughput_ipns
+        advantage = full.speedup_over(base)
+        print(f"  {timing:6s} {t.read_ns/1000:5.0f}u {t.program_ns/1000:6.0f}u  "
+              f"{base_rel:9.2f}x {full_rel:12.2f}x {advantage:9.2f}x")
+
+    print("\n(throughput normalized to Base-CSSD on ULL flash)")
+    print("Takeaway: as tR grows from 3us (Z-NAND) to 50us (MLC), the")
+    print("baseline collapses while SkyByte keeps hiding the latency --")
+    print("'it is promising to use slower yet cheaper commodity flash")
+    print("chips to build CXL-SSDs for parallelizable applications'.")
+
+
+if __name__ == "__main__":
+    main()

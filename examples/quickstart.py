@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the baseline CXL-SSD and on
+SkyByte, and print what changed.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import run_workload
+
+RECORDS = 2500  # trace records per thread; raise for higher fidelity
+
+
+def describe(result):
+    s = result.stats
+    breakdown = s.request_breakdown()
+    return {
+        "threads": result.threads,
+        "throughput (instr/ns)": round(s.throughput_ipns, 4),
+        "AMAT (ns)": round(s.amat_ns, 1),
+        "flash page writes": s.flash_page_writes,
+        "context switches": s.context_switches,
+        "pages promoted": s.pages_promoted,
+        "served by host DRAM": f"{breakdown['H-R/W']:.1%}",
+        "SSD DRAM read hits": f"{breakdown['S-R-H']:.1%}",
+        "flash-bound read misses": f"{breakdown['S-R-M']:.1%}",
+    }
+
+
+def main():
+    workload = "ycsb"
+    print(f"Simulating {workload!r} on a memory-semantic CXL-SSD...\n")
+
+    base = run_workload(workload, "Base-CSSD", records_per_thread=RECORDS)
+    full = run_workload(workload, "SkyByte-Full", records_per_thread=RECORDS)
+    ideal = run_workload(workload, "DRAM-Only", records_per_thread=RECORDS)
+
+    for name, result in (("Base-CSSD", base), ("SkyByte-Full", full),
+                         ("DRAM-Only (ideal)", ideal)):
+        print(f"--- {name} ---")
+        for key, value in describe(result).items():
+            print(f"  {key:26s} {value}")
+        print()
+
+    print(f"SkyByte-Full speedup over Base-CSSD: {full.speedup_over(base):.2f}x")
+    print(f"Fraction of the DRAM-Only ideal:     "
+          f"{full.stats.throughput_ipns / ideal.stats.throughput_ipns:.1%}")
+
+
+if __name__ == "__main__":
+    main()

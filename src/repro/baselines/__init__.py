@@ -1,0 +1,2 @@
+"""Alternative designs of the paper's SS VI-H study: TPP-style sampled
+migration and the AstriFlash-CXL host-cache organisation."""

@@ -1,0 +1,2 @@
+"""SkyByte's core mechanisms: write log, data cache, compaction,
+context-switch trigger, adaptive migration, and the SkyByte controller."""

@@ -1,0 +1,251 @@
+"""SkyByte SSD controller.
+
+The device personality implementing the paper's design: the CXL-aware
+DRAM manager (write log + data cache) in front of a page-level FTL with
+garbage collection, plus the Algorithm 1 trigger that answers long reads
+with a ``SkyByte-Delay`` NDR.  Writes are always absorbed by the write log
+("As writes are buffered in the write log, they do not need to trigger
+context switch", §III-A).
+
+Controller MSHRs coalesce concurrent reads to a page whose flash fetch is
+already in flight, mirroring the baseline controller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import SimConfig
+from repro.core.dram_manager import SkyByteDRAMManager
+from repro.core.trigger import ContextSwitchTrigger, TriggerDecision
+from repro.cxl.protocol import MemRequest
+from repro.sim.engine import Engine
+from repro.sim.stats import SimStats, SSD_READ_HIT, SSD_READ_MISS, SSD_WRITE
+from repro.ssd.flash import FlashArray
+from repro.ssd.ftl import PageFTL
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.interface import AccessResult
+
+
+class SkyByteController:
+    """The full SkyByte device (write log + data cache + trigger)."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        engine: Engine,
+        stats: SimStats,
+        ctx_switch_enabled: Optional[bool] = None,
+    ) -> None:
+        self._config = config
+        self._ssd = config.ssd
+        self._engine = engine
+        self._stats = stats
+        self.ftl = PageFTL(self._ssd.geometry, seed=config.seed)
+        self.flash = FlashArray(self._ssd.geometry, self._ssd.timing, engine, stats)
+        self.gc = GarbageCollector(self._ssd, self.ftl, self.flash, engine, stats)
+        self.dram = SkyByteDRAMManager(
+            self._ssd, self.ftl, self.flash, self.gc, engine, stats
+        )
+        if ctx_switch_enabled is None:
+            ctx_switch_enabled = config.skybyte.device_triggered_ctx_swt
+        self.trigger = ContextSwitchTrigger(
+            config.os.cs_threshold_ns, self.flash, self.gc, enabled=ctx_switch_enabled
+        )
+        # Controller MSHRs: lpa -> completion time of the in-flight fetch.
+        self._inflight: Dict[int, float] = {}
+        #: Hook for the migration engine (page, is_write, now).
+        self.on_page_access = None
+
+    # -- public API ---------------------------------------------------------------
+
+    def access(self, request: MemRequest, now: float) -> AccessResult:
+        if self.on_page_access is not None:
+            self.on_page_access(request.page, request.is_write, now)
+        if request.is_write:
+            return self._write(request, now)
+        return self._read(request, now)
+
+    def drain(self, now: float) -> float:
+        """Flush both log buffers so end-of-run flash traffic is complete."""
+        return self.dram.flush_all(now)
+
+    def warm_access(self, page: int, line: int, is_write: bool) -> None:
+        """Metadata-only warmup replay of one access (§VI-A)."""
+        if is_write:
+            self.dram.warm_write(page, line)
+        else:
+            self.dram.warm_read(page, line)
+
+    def invalidate_page(self, lpa: int) -> int:
+        """Promotion completion: drop the page from SSD DRAM structures.
+
+        Returns the dirty-versus-flash bitmap that was dropped (logged
+        lines plus dirty cache lines) so the host copy inherits it.
+        """
+        dirty = 0
+        for line in self.dram.write_log.lines_for_page(lpa):
+            dirty |= 1 << line
+        entry = self.dram.data_cache.peek(lpa)
+        if entry is not None:
+            dirty |= entry.dirty_mask
+        self.dram.invalidate_page(lpa)
+        self._inflight.pop(lpa, None)
+        return dirty
+
+    def demote_page(self, lpa: int, dirty_mask: int, now: float) -> None:
+        """Accept a demoted page: dirty lines re-enter via the write log
+        (they are ordinary cacheline writes arriving over CXL)."""
+        line = 0
+        mask = dirty_mask
+        while mask:
+            if mask & 1:
+                self.dram.write(lpa, line, now)
+            mask >>= 1
+            line += 1
+
+    def contains_page(self, lpa: int) -> bool:
+        return self.dram.contains_page(lpa)
+
+    # -- read path ------------------------------------------------------------------
+
+    def _read(self, request: MemRequest, now: float) -> AccessResult:
+        lpa, line = request.page, request.line_offset
+        inflight_ready = self._inflight.get(lpa)
+        if inflight_ready is not None and inflight_ready > now:
+            # Coalesce on the controller MSHR: the page is on its way.
+            self._stats.count_request(SSD_READ_MISS)
+            indexing = max(self._ssd.cache_index_ns, self._ssd.log_index_ns)
+            wait = inflight_ready - now
+            self._stats.record_amat(
+                indexing=indexing,
+                flash=max(0.0, wait - indexing),
+                ssd_dram=self._ssd.dram_access_ns,
+            )
+            entry = self.dram.data_cache.peek(lpa)
+            if entry is not None:
+                entry.touch_mask |= 1 << line
+            decision = self._mshr_decision(wait)
+            return AccessResult(
+                complete_ns=inflight_ready + self._ssd.dram_access_ns,
+                request_class=SSD_READ_MISS,
+                delay_hint=decision.trigger,
+                est_delay_ns=decision.estimated_ns,
+                breakdown={
+                    "indexing": indexing,
+                    "flash": max(0.0, wait - indexing),
+                    "ssd_dram": self._ssd.dram_access_ns,
+                },
+            )
+
+        # Decide the context-switch hint *before* the fetch mutates the
+        # channel queue (the estimate is for the state the request sees).
+        decision = self._pre_read_decision(lpa, line)
+        outcome = self.dram.read(lpa, line, now)
+        if outcome.hit:
+            self._stats.count_request(SSD_READ_HIT)
+            self._stats.record_amat(
+                indexing=outcome.indexing_ns, ssd_dram=self._ssd.dram_access_ns
+            )
+            return AccessResult(
+                complete_ns=outcome.ready_ns + self._ssd.dram_access_ns,
+                request_class=SSD_READ_HIT,
+                breakdown={
+                    "indexing": outcome.indexing_ns,
+                    "ssd_dram": self._ssd.dram_access_ns,
+                },
+            )
+        self._stats.count_request(SSD_READ_MISS)
+        self._stats.record_amat(
+            indexing=outcome.indexing_ns,
+            flash=outcome.flash_ns,
+            ssd_dram=self._ssd.dram_access_ns,
+        )
+        self._inflight[lpa] = outcome.ready_ns
+        self._schedule_inflight_cleanup(lpa, outcome.ready_ns)
+        self._maybe_prefetch(lpa, now + outcome.indexing_ns)
+        return AccessResult(
+            complete_ns=outcome.ready_ns + self._ssd.dram_access_ns,
+            request_class=SSD_READ_MISS,
+            delay_hint=decision.trigger,
+            est_delay_ns=decision.estimated_ns,
+            breakdown={
+                "indexing": outcome.indexing_ns,
+                "flash": outcome.flash_ns,
+                "ssd_dram": self._ssd.dram_access_ns,
+            },
+        )
+
+    # -- write path --------------------------------------------------------------------
+
+    def _write(self, request: MemRequest, now: float) -> AccessResult:
+        lpa, line = request.page, request.line_offset
+        if self._stats.enabled:
+            self._stats.host_lines_written += 1
+        self._stats.count_request(SSD_WRITE)
+        outcome = self.dram.write(lpa, line, now)
+        self._stats.record_amat(
+            indexing=outcome.indexing_ns,
+            ssd_dram=self._ssd.dram_access_ns,
+            flash=outcome.stalled_ns,
+        )
+        return AccessResult(
+            complete_ns=outcome.ready_ns + self._ssd.dram_access_ns,
+            request_class=SSD_WRITE,
+            breakdown={
+                "indexing": outcome.indexing_ns,
+                "ssd_dram": self._ssd.dram_access_ns,
+                "flash": outcome.stalled_ns,
+            },
+        )
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _maybe_prefetch(self, lpa: int, now: float) -> None:
+        """Sequential next-page prefetch into the data cache.  SkyByte
+        keeps the baseline's published optimisations (§VI-A's Base-CSSD
+        includes "prefetching from flash to SSD DRAM"); only the DRAM
+        organisation changes."""
+        for offset in range(1, self._ssd.prefetch_depth + 1):
+            nxt = lpa + offset
+            if nxt in self._inflight or self.dram.data_cache.peek(nxt) is not None:
+                continue
+            ppa = self.ftl.translate(nxt)
+            if ppa is None:
+                continue
+            ready = self.flash.read_page(ppa, now)
+            merged = 0
+            for line_offset in self.dram.write_log.lines_for_page(nxt):
+                merged |= 1 << line_offset
+            self.dram.data_cache.fill(nxt, touch_line=None, merged_lines=merged)
+            if self._stats.enabled:
+                self._stats.prefetch_issued += 1
+            self._inflight[nxt] = ready
+            self._schedule_inflight_cleanup(nxt, ready)
+
+    def _pre_read_decision(self, lpa: int, line: int) -> TriggerDecision:
+        """No hint if the read will be served by SSD DRAM (R1 or R2)."""
+        if not self.trigger.enabled:
+            return TriggerDecision(False, 0.0)
+        if self.dram.data_cache.peek(lpa) is not None:
+            return TriggerDecision(False, 0.0)
+        if self.dram.write_log.has_line(lpa, line):
+            return TriggerDecision(False, 0.0)
+        ppa = self.ftl.translate(lpa)
+        if ppa is None:
+            return TriggerDecision(False, 0.0)
+        return self.trigger.should_context_switch(ppa)
+
+    def _mshr_decision(self, remaining_wait: float) -> TriggerDecision:
+        if not self.trigger.enabled:
+            return TriggerDecision(False, remaining_wait)
+        return TriggerDecision(
+            remaining_wait > self.trigger.threshold_ns, remaining_wait
+        )
+
+    def _schedule_inflight_cleanup(self, lpa: int, ready: float) -> None:
+        def _done() -> None:
+            if self._inflight.get(lpa, 0.0) <= ready:
+                self._inflight.pop(lpa, None)
+
+        self._engine.schedule_at(ready, _done)

@@ -1,0 +1,224 @@
+"""CXL-aware SSD DRAM manager (§III-B, Fig. 11).
+
+Splits the SSD DRAM into the cacheline-granular write log and the
+page-granular data cache, and implements the paper's access paths:
+
+Reads:
+  * **R1** data-cache hit: serve from the cached page (49 ns index).
+  * **R2** cache miss, write-log hit: serve the logged line (72 ns index).
+  * **R3** both miss: fetch the page from flash, merge any logged lines
+    into it, install in the data cache, serve the target line.
+
+Writes:
+  * **W1** append the line to the write log (never a flash access on the
+    critical path).
+  * **W2** update the resident data-cache copy in parallel, if any.
+  * **W3** update the two-level log index.
+
+When the active log buffer fills, the buffers swap and the full one is
+compacted in the background.  If the standby buffer has not finished
+draining (extreme write pressure), the write stalls until it has --
+double-buffering makes this rare, matching the paper's claim that
+compaction stays off the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SSDConfig
+from repro.core.compaction import LogCompactor
+from repro.core.data_cache import SkyByteDataCache
+from repro.core.write_log import WriteLog
+from repro.sim.engine import Engine
+from repro.sim.stats import SimStats
+from repro.ssd.flash import FlashArray
+from repro.ssd.ftl import PageFTL
+from repro.ssd.gc import GarbageCollector
+
+
+@dataclass
+class ReadOutcome:
+    """Result of a DRAM-manager read."""
+
+    hit: bool  # served without flash (R1 or R2)
+    path: str  # "R1", "R2" or "R3"
+    ready_ns: float  # absolute time the line is in SSD DRAM
+    indexing_ns: float
+    flash_ns: float
+
+
+@dataclass
+class WriteOutcome:
+    """Result of a DRAM-manager write."""
+
+    ready_ns: float
+    indexing_ns: float
+    stalled_ns: float  # time spent waiting for a draining buffer
+
+
+class SkyByteDRAMManager:
+    """The write log + data cache pair and their interaction."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        ftl: PageFTL,
+        flash: FlashArray,
+        gc: GarbageCollector,
+        engine: Engine,
+        stats: SimStats,
+    ) -> None:
+        self._config = config
+        self._ftl = ftl
+        self._flash = flash
+        self._gc = gc
+        self._engine = engine
+        self._stats = stats
+        self.write_log = WriteLog(config.write_log_entries)
+        cache_pages = max(1, config.data_cache_bytes // config.geometry.page_size)
+        self.data_cache = SkyByteDataCache(cache_pages, config.cache_ways, stats)
+        self.compactor = LogCompactor(
+            config, self.write_log, self.data_cache, ftl, flash, gc, engine, stats
+        )
+
+    # -- read path ------------------------------------------------------------
+
+    def read(self, lpa: int, line: int, now: float) -> ReadOutcome:
+        """Parallel lookup of data cache and write log (R1/R2/R3)."""
+        cache_idx = self._config.cache_index_ns
+        log_idx = self._config.log_index_ns
+        entry = self.data_cache.lookup(lpa, line)
+        if entry is not None:
+            # R1 -- resident pages are kept up to date by W2/R3 merges.
+            return ReadOutcome(
+                hit=True,
+                path="R1",
+                ready_ns=now + cache_idx,
+                indexing_ns=cache_idx,
+                flash_ns=0.0,
+            )
+        if self.write_log.has_line(lpa, line):
+            # R2 -- newest copy lives in the log.
+            return ReadOutcome(
+                hit=True,
+                path="R2",
+                ready_ns=now + log_idx,
+                indexing_ns=log_idx,
+                flash_ns=0.0,
+            )
+        # R3 -- fetch from flash; both lookups were needed to know (pay the
+        # slower of the two parallel lookups).
+        indexing = max(cache_idx, log_idx)
+        if self._stats.enabled:
+            self._stats.cache_misses += 1
+        ppa = self._ftl.translate(lpa)
+        if ppa is None:
+            # Never-written page: zero-fill without flash access.
+            flash_ready = now + indexing
+        else:
+            flash_ready = self._flash.read_page(ppa, now + indexing)
+        merged_mask = 0
+        for line_offset in self.write_log.lines_for_page(lpa):
+            merged_mask |= 1 << line_offset
+        self.data_cache.fill(lpa, touch_line=line, merged_lines=merged_mask)
+        return ReadOutcome(
+            hit=False,
+            path="R3",
+            ready_ns=flash_ready,
+            indexing_ns=indexing,
+            flash_ns=max(0.0, flash_ready - now - indexing),
+        )
+
+    #: High-water mark: compaction starts when the active buffer reaches
+    #: this fill fraction (waiting for completely full risks stalling
+    #: writers whenever the drain is slower than the fill).
+    COMPACT_HIGH_WATER = 0.75
+
+    # -- write path --------------------------------------------------------------
+
+    def write(self, lpa: int, line: int, now: float) -> WriteOutcome:
+        """W1 append + W2 parallel cache update + W3 index update."""
+        log_idx = self._config.log_index_ns
+        stalled = 0.0
+        if self.write_log.active.full:
+            # Both buffers saturated: wait for the draining one.  The
+            # engine's finish event may not have fired yet at this logical
+            # time, so reclaim the drained buffer directly.
+            if not self.write_log.can_swap():
+                wait_until = self.compactor.active_until
+                stalled = max(0.0, wait_until - now)
+                now = max(now, wait_until)
+                if self.write_log.standby.draining:
+                    self.write_log.standby.reset()
+            self._swap_and_compact(now)
+        self.write_log.append(lpa, line)
+        if self._stats.enabled:
+            self._stats.log_appends += 1
+        self.data_cache.update_on_write(lpa, line)
+        high_water = self.write_log.active.used >= int(
+            self.COMPACT_HIGH_WATER * self.write_log.active.capacity
+        )
+        if high_water and self.write_log.can_swap():
+            self._swap_and_compact(now)
+        return WriteOutcome(
+            ready_ns=now + log_idx,
+            indexing_ns=log_idx,
+            stalled_ns=stalled,
+        )
+
+    # -- warmup (metadata-only, no timing) ---------------------------------------
+
+    def warm_read(self, lpa: int, line: int) -> None:
+        """Warmup replay of a read: bring the page into the data cache as
+        a zero-cost fill so LRU state reaches steady state (§VI-A)."""
+        entry = self.data_cache.lookup(lpa, line)
+        if entry is not None:
+            return
+        if self.write_log.has_line(lpa, line):
+            return
+        merged = 0
+        for line_offset in self.write_log.lines_for_page(lpa):
+            merged |= 1 << line_offset
+        self.data_cache.fill(lpa, touch_line=line, merged_lines=merged)
+
+    def warm_write(self, lpa: int, line: int) -> None:
+        """Warmup replay of a write: append to the log without scheduling
+        compaction; a full buffer is silently recycled."""
+        if self.write_log.active.full:
+            if self.write_log.can_swap():
+                self.write_log.swap()
+            self.write_log.standby.reset()
+            if self.write_log.active.full:
+                self.write_log.swap()
+                self.write_log.standby.reset()
+        self.write_log.append(lpa, line)
+        self.data_cache.update_on_write(lpa, line)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def _swap_and_compact(self, now: float) -> None:
+        full_buffer = self.write_log.swap()
+        self.compactor.compact(full_buffer, now)
+
+    def flush_all(self, now: float) -> float:
+        """Drain both buffers (end-of-run accounting)."""
+        completion = now
+        for buffer in self.write_log.buffers:
+            if buffer.used and not buffer.draining:
+                buffer.draining = True
+                completion = max(completion, self.compactor.compact(buffer, now))
+        return completion
+
+    def invalidate_page(self, lpa: int) -> None:
+        """Remove a promoted page from both structures (§III-C)."""
+        self.data_cache.invalidate(lpa)
+        self.write_log.remove_page(lpa)
+
+    def contains_page(self, lpa: int) -> bool:
+        return lpa in self.data_cache or self.write_log.has_page(lpa)
+
+    @property
+    def index_memory_bytes(self) -> int:
+        return self.write_log.memory_bytes

@@ -1,0 +1,67 @@
+"""Context-switch trigger policy (Algorithm 1 of the paper).
+
+The SSD controller decides, per read that misses its DRAM, whether the
+host should context switch instead of stalling.  The estimate is derived
+purely from the target flash channel's queue occupancy -- the counters
+:class:`repro.ssd.flash.FlashChannel` maintains -- because channel queues
+are served FIFO.  If a garbage collection currently occupies the channel
+the switch is triggered immediately ("as GCs typically last for
+milliseconds", §III-A); the GC's queued erases/programs are also visible
+to the estimator through the counters, matching the paper's note that the
+GC impact "is already considered in the latency prediction algorithm".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FlashTiming
+from repro.ssd.flash import FlashArray
+from repro.ssd.gc import GarbageCollector
+
+
+@dataclass
+class TriggerDecision:
+    """Outcome of the trigger policy for one request."""
+
+    trigger: bool
+    estimated_ns: float
+
+
+class ContextSwitchTrigger:
+    """Threshold-based trigger policy (Algorithm 1)."""
+
+    def __init__(
+        self,
+        threshold_ns: float,
+        flash: FlashArray,
+        gc: GarbageCollector,
+        enabled: bool = True,
+    ) -> None:
+        self.threshold_ns = threshold_ns
+        self._flash = flash
+        self._gc = gc
+        self.enabled = enabled
+
+    def should_context_switch(self, ppa: int) -> TriggerDecision:
+        """Algorithm 1: estimate the new read's latency from the channel
+        queue and compare against the threshold."""
+        channel = self._flash.channel_of(ppa)
+        estimated = self._flash.channels[channel].estimate_read_ns()
+        if not self.enabled:
+            return TriggerDecision(False, estimated)
+        if self._gc.is_active(channel):
+            return TriggerDecision(True, estimated)
+        return TriggerDecision(estimated > self.threshold_ns, estimated)
+
+    @staticmethod
+    def estimate_from_counters(
+        timing: FlashTiming, num_read: int, num_write: int, num_erase: int
+    ) -> float:
+        """Pure form of Algorithm 1 lines 5-6 (used in unit tests):
+        ``read*(n_read+1) + program*n_write + erase*n_erase``."""
+        return (
+            timing.read_ns * (num_read + 1)
+            + timing.program_ns * num_write
+            + timing.erase_ns * num_erase
+        )

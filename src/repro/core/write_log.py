@@ -1,0 +1,163 @@
+"""Cacheline-granular write log (§III-B, Fig. 12).
+
+All host writes append 64 B entries to a circular log in SSD DRAM -- no
+flash access on the critical path.  The log is *double-buffered*: when the
+active buffer fills, SkyByte swaps to the standby buffer and compacts the
+full one in the background, so incoming writes keep landing in DRAM while
+compaction drains.
+
+Each buffer owns a :class:`~repro.core.log_index.LogIndex`.  Read lookups
+consult the active buffer first (newest data), then the draining buffer --
+the paper's "parallel lookup in both the new log and the old log".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class LogBuffer:
+    """One half of the double-buffered log: a circular entry array."""
+
+    def __init__(self, capacity_entries: int, index_cls) -> None:
+        if capacity_entries < 1:
+            raise ValueError("log buffer needs at least one entry")
+        self.capacity = capacity_entries
+        self.index = index_cls()
+        self.head = 0  # oldest live entry
+        self.tail = 0  # next append position
+        self._used = 0
+        #: bumped on every reset so stale background-finish events can tell
+        #: the buffer was already reclaimed (and maybe refilled) and must
+        #: not wipe it again.
+        self.generation = 0
+        #: log position -> (lpa, line_offset); sparse record of appends so
+        #: compaction and tests can verify latest-write-wins.
+        self.entries: Dict[int, Tuple[int, int]] = {}
+        self.draining = False
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def full(self) -> bool:
+        return self._used >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self._used == 0
+
+    def append(self, lpa: int, line_offset: int) -> int:
+        """Append one cacheline write; returns its log offset.
+
+        Raises ``RuntimeError`` if full -- callers must swap buffers first.
+        """
+        if self.full:
+            raise RuntimeError("append to a full log buffer")
+        pos = self.tail
+        self.tail = (self.tail + 1) % self.capacity
+        self._used += 1
+        self.entries[pos] = (lpa, line_offset)
+        self.index.insert(lpa, line_offset, pos)
+        return pos
+
+    def reset(self) -> None:
+        """Reclaim the buffer after compaction (drop index + entries)."""
+        self.index.clear()
+        self.entries.clear()
+        self.head = self.tail = 0
+        self._used = 0
+        self.draining = False
+        self.generation += 1
+
+
+class WriteLog:
+    """The double-buffered cacheline write log."""
+
+    def __init__(self, capacity_entries: int, index_cls=None) -> None:
+        if index_cls is None:
+            from repro.core.log_index import LogIndex
+
+            index_cls = LogIndex
+        per_buffer = max(1, capacity_entries // 2)
+        self.buffers = [LogBuffer(per_buffer, index_cls) for _ in range(2)]
+        self._active = 0
+        self.total_appends = 0
+        self.coalesced_appends = 0
+
+    @property
+    def active(self) -> LogBuffer:
+        return self.buffers[self._active]
+
+    @property
+    def standby(self) -> LogBuffer:
+        return self.buffers[1 - self._active]
+
+    @property
+    def capacity_entries(self) -> int:
+        return sum(b.capacity for b in self.buffers)
+
+    @property
+    def used_entries(self) -> int:
+        return sum(b.used for b in self.buffers)
+
+    def append(self, lpa: int, line_offset: int) -> bool:
+        """Append a write to the active buffer.
+
+        Returns True when the append *filled* the active buffer, i.e. a
+        compaction should be triggered and the buffers swapped.
+        """
+        buf = self.active
+        if self.active.index.lookup(lpa, line_offset) is not None:
+            self.coalesced_appends += 1
+        buf.append(lpa, line_offset)
+        self.total_appends += 1
+        return buf.full
+
+    def can_swap(self) -> bool:
+        """True if the standby buffer has finished draining."""
+        return self.standby.empty and not self.standby.draining
+
+    def swap(self) -> LogBuffer:
+        """Switch to the standby buffer; returns the now-draining buffer.
+
+        The caller (the compactor) is responsible for calling
+        ``reset()`` on the returned buffer once the flush completes.
+        """
+        if not self.can_swap():
+            raise RuntimeError("standby buffer still draining")
+        full_buffer = self.active
+        full_buffer.draining = True
+        self._active = 1 - self._active
+        return full_buffer
+
+    def lookup(self, lpa: int, line_offset: int) -> Optional[int]:
+        """Newest logged copy of (lpa, line): active buffer first, then the
+        draining one.  Returns a log offset or None."""
+        pos = self.active.index.lookup(lpa, line_offset)
+        if pos is not None:
+            return pos
+        return self.standby.index.lookup(lpa, line_offset)
+
+    def has_line(self, lpa: int, line_offset: int) -> bool:
+        return self.lookup(lpa, line_offset) is not None
+
+    def has_page(self, lpa: int) -> bool:
+        return self.active.index.has_page(lpa) or self.standby.index.has_page(lpa)
+
+    def lines_for_page(self, lpa: int) -> Dict[int, int]:
+        """Union of logged lines for ``lpa`` across both buffers, with the
+        active buffer's (newer) entries winning."""
+        lines = self.standby.index.lines_for_page(lpa)
+        lines.update(self.active.index.lines_for_page(lpa))
+        return lines
+
+    def remove_page(self, lpa: int) -> int:
+        """Invalidate all entries of a page in both buffers (promotion)."""
+        return self.active.index.remove_page(lpa) + self.standby.index.remove_page(lpa)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Index footprint under the paper's sizing model."""
+        return sum(b.index.memory_bytes for b in self.buffers)

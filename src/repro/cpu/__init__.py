@@ -1,0 +1,1 @@
+"""Host CPU models: interval cores, cache hierarchy, MSHRs, host DRAM."""

@@ -1,0 +1,87 @@
+"""Set-associative CPU cache level.
+
+A classic writeback/write-allocate cache keyed by 64 B line address,
+configurable to the L1/L2/L3 shapes of Table II.  Used by the detailed
+cache-hierarchy mode and its tests; the fast interval model folds on-chip
+hits into its IPC term instead (the traces it replays are LLC-miss
+streams).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import CACHELINE_SIZE
+
+
+@dataclass
+class LineState:
+    """Metadata for one resident cacheline."""
+
+    line_address: int
+    dirty: bool = False
+
+
+class CpuCache:
+    """One cache level (LRU, writeback, write-allocate)."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        latency_ns: float,
+    ) -> None:
+        lines = max(1, size_bytes // CACHELINE_SIZE)
+        ways = max(1, min(ways, lines))
+        self.name = name
+        self.ways = ways
+        self.num_sets = max(1, lines // ways)
+        self.latency_ns = latency_ns
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_of(self, line_address: int) -> OrderedDict:
+        return self._sets[line_address % self.num_sets]
+
+    def __contains__(self, line_address: int) -> bool:
+        return line_address in self._set_of(line_address)
+
+    def lookup(self, line_address: int, is_write: bool) -> bool:
+        """Access the cache; returns True on hit (LRU updated)."""
+        cache_set = self._set_of(line_address)
+        line = cache_set.get(line_address)
+        if line is None:
+            self.misses += 1
+            return False
+        cache_set.move_to_end(line_address)
+        if is_write:
+            line.dirty = True
+        self.hits += 1
+        return True
+
+    def fill(self, line_address: int, dirty: bool = False) -> Optional[LineState]:
+        """Install a line; returns the evicted line if one was displaced."""
+        cache_set = self._set_of(line_address)
+        existing = cache_set.get(line_address)
+        if existing is not None:
+            cache_set.move_to_end(line_address)
+            existing.dirty = existing.dirty or dirty
+            return None
+        victim = None
+        if len(cache_set) >= self.ways:
+            _addr, victim = cache_set.popitem(last=False)
+            self.evictions += 1
+        cache_set[line_address] = LineState(line_address=line_address, dirty=dirty)
+        return victim
+
+    def invalidate(self, line_address: int) -> Optional[LineState]:
+        return self._set_of(line_address).pop(line_address, None)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,102 @@
+"""Three-level CPU cache hierarchy (Table II shapes).
+
+Per-core L1/L2 with a shared L3, each fronted by an MSHR file.  The
+hierarchy turns a raw per-line access stream into the off-chip miss
+stream the memory system sees, reporting the hit level and accumulated
+lookup latency -- this is the detailed companion to the fast interval
+model, and the component that demonstrates why the paper frees MSHRs on
+squash (long CXL latencies otherwise exhaust them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import CPUConfig
+from repro.cpu.cache import CpuCache
+from repro.cpu.mshr import MSHRFile
+
+L1_LATENCY_NS = 1.0
+L2_LATENCY_NS = 3.5
+L3_LATENCY_NS = 10.5
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of one hierarchy access."""
+
+    hit_level: Optional[str]  # "L1" / "L2" / "L3" / None (off-chip)
+    latency_ns: float
+    #: True when the access must go off-chip but no L3 MSHR was available
+    #: (back-pressure: the core must retry).
+    mshr_stall: bool = False
+
+
+class CacheHierarchy:
+    """L1/L2 per core + shared L3, with MSHR files at L1 and L3."""
+
+    def __init__(self, config: CPUConfig) -> None:
+        self.cores = config.cores
+        self.l1 = [
+            CpuCache("L1", 32 * 1024, 8, L1_LATENCY_NS) for _ in range(config.cores)
+        ]
+        self.l2 = [
+            CpuCache("L2", 512 * 1024, 32, L2_LATENCY_NS) for _ in range(config.cores)
+        ]
+        self.l3 = CpuCache("L3", 16 * 1024 * 1024, 16, L3_LATENCY_NS)
+        self.l1_mshrs = [MSHRFile(config.l1_mshrs) for _ in range(config.cores)]
+        self.l3_mshr = MSHRFile(config.l3_mshrs)
+
+    def access(
+        self, core: int, line_address: int, is_write: bool, now: float = 0.0
+    ) -> HierarchyResult:
+        """Walk the hierarchy; fills on miss are performed immediately
+        (timing of the off-chip fetch is the caller's responsibility)."""
+        if not 0 <= core < self.cores:
+            raise ValueError(f"core {core} out of range")
+        latency = L1_LATENCY_NS
+        if self.l1[core].lookup(line_address, is_write):
+            return HierarchyResult("L1", latency)
+        latency += L2_LATENCY_NS
+        if self.l2[core].lookup(line_address, is_write):
+            self._fill_l1(core, line_address)
+            return HierarchyResult("L2", latency)
+        latency += L3_LATENCY_NS
+        if self.l3.lookup(line_address, is_write):
+            self._fill_l2(core, line_address)
+            self._fill_l1(core, line_address)
+            return HierarchyResult("L3", latency)
+        # Off-chip: needs an L1 MSHR (per-core MLP) and an L3 MSHR.
+        if self.l1_mshrs[core].allocate(line_address, now) is None:
+            return HierarchyResult(None, latency, mshr_stall=True)
+        if self.l3_mshr.allocate(line_address, now) is None:
+            self.l1_mshrs[core].release(line_address)
+            return HierarchyResult(None, latency, mshr_stall=True)
+        return HierarchyResult(None, latency)
+
+    def fill_from_memory(self, core: int, line_address: int, dirty: bool = False) -> None:
+        """Install a returned off-chip line at every level and free MSHRs."""
+        self.l3.fill(line_address, dirty=False)
+        self._fill_l2(core, line_address)
+        self._fill_l1(core, line_address, dirty=dirty)
+        self.l1_mshrs[core].release(line_address)
+        self.l3_mshr.release(line_address)
+
+    def squash(self, core: int, line_address: int) -> None:
+        """SkyByte's early MSHR release for a squashed instruction."""
+        self.l1_mshrs[core].release(line_address)
+        self.l3_mshr.release(line_address)
+
+    def outstanding_misses(self, core: int) -> int:
+        return len(self.l1_mshrs[core])
+
+    def _fill_l1(self, core: int, line_address: int, dirty: bool = False) -> None:
+        victim = self.l1[core].fill(line_address, dirty=dirty)
+        if victim is not None and victim.dirty:
+            self.l2[core].fill(victim.line_address, dirty=True)
+
+    def _fill_l2(self, core: int, line_address: int) -> None:
+        victim = self.l2[core].fill(line_address)
+        if victim is not None and victim.dirty:
+            self.l3.fill(victim.line_address, dirty=True)

@@ -1,0 +1,89 @@
+"""Miss Status Handling Registers.
+
+An MSHR file tracks outstanding misses and coalesces requests to the same
+cacheline (§III-A, step C1: "The MSHRs also perform memory access
+coalescing, so a memory request may be associated with multiple
+instructions from different cores").  SkyByte frees an entry as soon as
+its instruction squashes ("we free the MSHR entry as soon as the
+corresponding instruction squashes ... we enable it in SkyByte by
+default") to avoid MSHR exhaustion across context switches; this file
+supports that early release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss."""
+
+    line_address: int
+    issue_ns: float
+    #: Waiting (core, tag) pairs coalesced onto this miss.
+    waiters: List[tuple] = field(default_factory=list)
+
+
+class MSHRFile:
+    """Fixed-capacity MSHR file with per-line coalescing."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.capacity = entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.coalesced = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_address: int) -> Optional[MSHREntry]:
+        return self._entries.get(line_address)
+
+    def allocate(
+        self, line_address: int, now: float, waiter: Optional[tuple] = None
+    ) -> Optional[MSHREntry]:
+        """Track a new miss, coalescing onto an existing entry if present.
+
+        Returns the entry, or None if the file is full (caller must stall
+        the request until capacity frees up).
+        """
+        entry = self._entries.get(line_address)
+        if entry is not None:
+            self.coalesced += 1
+            if waiter is not None:
+                entry.waiters.append(waiter)
+            return entry
+        if self.full:
+            self.rejected += 1
+            return None
+        entry = MSHREntry(line_address=line_address, issue_ns=now)
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self._entries[line_address] = entry
+        return entry
+
+    def release(self, line_address: int) -> Optional[MSHREntry]:
+        """Free the entry (fill completed, or early release on squash)."""
+        return self._entries.pop(line_address, None)
+
+    def release_waiter(self, line_address: int, waiter: tuple) -> bool:
+        """Early-release one squashed waiter; frees the entry when the
+        last waiter disappears (SkyByte's squash-time MSHR release)."""
+        entry = self._entries.get(line_address)
+        if entry is None:
+            return False
+        try:
+            entry.waiters.remove(waiter)
+        except ValueError:
+            return False
+        if not entry.waiters:
+            self._entries.pop(line_address, None)
+        return True

@@ -1,0 +1,133 @@
+"""CXL.mem protocol messages.
+
+Models the slice of the CXL 3.0 protocol the paper uses (§II-A, §III-A and
+Fig. 8): master-to-slave read/write requests (``MemRd``/``MemWr``) with
+16-bit transaction tags, slave-to-master data responses (``MemData``) and
+No-Data Responses (NDR).  SkyByte extends the NDR opcode space with
+``SkyByte-Delay`` (encoding ``111b``), the long-access-delay hint that
+drives the coordinated context switch.
+
+Only message *metadata* is modelled -- the simulator never moves payload
+bytes -- but the opcode encodings match Fig. 8 so that tests can check the
+wire-level contract.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class M2SOpcode(enum.Enum):
+    """Master-to-slave (host to device) request opcodes."""
+
+    MEM_RD = "MemRd"
+    MEM_WR = "MemWr"
+
+
+class NDROpcode(enum.IntEnum):
+    """No Data Response opcodes (Fig. 8).
+
+    ``CMP`` completes writebacks/reads/invalidates; the ``CMP_S``/``CMP_E``/
+    ``BI_CONFLICT_ACK`` encodings belong to CXL.cache coherence.  SkyByte
+    claims the reserved ``0b111`` encoding for its long-delay hint.
+    """
+
+    CMP = 0b000
+    CMP_S = 0b001
+    CMP_E = 0b010
+    BI_CONFLICT_ACK = 0b100
+    SKYBYTE_DELAY = 0b111
+
+
+TAG_BITS = 16
+TAG_SPACE = 1 << TAG_BITS
+
+_tag_counter = itertools.count()
+
+
+def next_tag() -> int:
+    """Allocate the next 16-bit transaction tag (wraps at 2**16)."""
+    return next(_tag_counter) % TAG_SPACE
+
+
+@dataclass
+class MemRequest:
+    """A CXL.mem M2S request for one 64-byte cacheline.
+
+    Attributes:
+        opcode: MemRd or MemWr.
+        address: byte address of the cacheline (64B aligned by caller).
+        tag: 16-bit transaction tag used to match the response.
+        core: issuing core id (host-side bookkeeping, mirrors the MSHR
+            tracking described in step C1 of Fig. 7).
+        thread: issuing software thread id.
+        issue_ns: simulation time the request entered the link.
+    """
+
+    opcode: M2SOpcode
+    address: int
+    tag: int = field(default_factory=next_tag)
+    core: int = -1
+    thread: int = -1
+    issue_ns: float = 0.0
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode is M2SOpcode.MEM_WR
+
+    @property
+    def line_address(self) -> int:
+        return self.address >> 6
+
+    @property
+    def page(self) -> int:
+        return self.address >> 12
+
+    @property
+    def line_offset(self) -> int:
+        """Cacheline index within the 4 KB page (0..63)."""
+        return (self.address >> 6) & 0x3F
+
+
+@dataclass
+class MemResponse:
+    """A CXL.mem S2M response.
+
+    ``MemData`` responses carry data (``ndr_opcode`` is None).  NDR
+    responses carry no data; an NDR with :attr:`NDROpcode.SKYBYTE_DELAY`
+    tells the host the matching request will suffer a long access delay and
+    the blocked thread should be context-switched (step C2 of Fig. 7).
+    """
+
+    tag: int
+    has_data: bool
+    ndr_opcode: Optional[NDROpcode] = None
+    #: Device-side estimate of when the data will be ready (ns); carried
+    #: for bookkeeping, the host only acts on the opcode.
+    ready_ns: float = 0.0
+
+    @property
+    def is_delay_hint(self) -> bool:
+        return self.ndr_opcode is NDROpcode.SKYBYTE_DELAY
+
+
+def encode_ndr(valid: bool, opcode: NDROpcode, tag: int) -> int:
+    """Pack an NDR message header per Fig. 8's field layout.
+
+    Layout (low to high bits): 1-bit valid, 3-bit opcode, 16-bit tag.
+    The remaining fields of the 40-bit flit slice are reserved/zero.
+    """
+    if not 0 <= tag < TAG_SPACE:
+        raise ValueError("tag out of range for 16-bit field")
+    return (valid & 0x1) | ((opcode & 0b111) << 1) | (tag << 4)
+
+
+def decode_ndr(header: int) -> tuple:
+    """Inverse of :func:`encode_ndr`; returns (valid, opcode, tag)."""
+    valid = bool(header & 0x1)
+    opcode = NDROpcode((header >> 1) & 0b111)
+    tag = (header >> 4) & (TAG_SPACE - 1)
+    return valid, opcode, tag

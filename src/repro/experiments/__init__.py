@@ -1,0 +1,1 @@
+"""Per-figure experiment drivers (one module per evaluation section)."""

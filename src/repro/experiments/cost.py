@@ -1,0 +1,90 @@
+"""Cost-effectiveness analysis (§VI-B).
+
+The paper prices DDR5 DRAM at $4.28/GB and ULL SSD at $0.27/GB (summer
+2024 market), concluding SkyByte-Full costs 15.9x less than the
+DRAM-only setup while reaching 75% of its performance -- an 11.8x
+cost-effectiveness win.  This module reproduces that arithmetic with the
+measured performance ratio from the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.config import GB
+from repro.experiments.runner import default_records, run_workload
+from repro.workloads.suites import WORKLOAD_NAMES
+
+#: $/GB, from §VI-B.
+DDR5_COST_PER_GB = 4.28
+ULL_SSD_COST_PER_GB = 0.27
+
+
+@dataclass
+class CostModel:
+    """Capacity and price assumptions for the two setups."""
+
+    #: DRAM-only: enough DDR5 to hold the whole working set (the paper's
+    #: ideal assumes the 128 GB the CXL-SSD provides, in DRAM).
+    dram_only_gb: float = 128.0
+    #: SkyByte: the CXL-SSD's flash plus the small host DRAM budget.
+    skybyte_flash_gb: float = 128.0
+    skybyte_host_dram_gb: float = 2.0
+
+    @property
+    def dram_only_cost(self) -> float:
+        return self.dram_only_gb * DDR5_COST_PER_GB
+
+    @property
+    def skybyte_cost(self) -> float:
+        return (
+            self.skybyte_flash_gb * ULL_SSD_COST_PER_GB
+            + self.skybyte_host_dram_gb * DDR5_COST_PER_GB
+        )
+
+    @property
+    def cost_ratio(self) -> float:
+        """The paper's headline 15.9x: the per-GB price ratio of DDR5
+        over ULL flash ($4.28 / $0.27).  0.75 performance x 15.9 gives
+        the 11.8x cost-effectiveness of §VI-B."""
+        return DDR5_COST_PER_GB / ULL_SSD_COST_PER_GB
+
+    @property
+    def setup_cost_ratio(self) -> float:
+        """Whole-setup ratio including SkyByte's small host-DRAM budget
+        (slightly below the per-GB ratio)."""
+        return self.dram_only_cost / self.skybyte_cost
+
+
+def cost_effectiveness(
+    workloads: Optional[Sequence[str]] = None,
+    records: Optional[int] = None,
+    model: Optional[CostModel] = None,
+) -> Dict[str, object]:
+    """Measured performance-per-dollar of SkyByte-Full vs DRAM-Only.
+
+    Returns the per-workload performance fractions, their geometric mean,
+    the cost ratio and the resulting cost-effectiveness multiple.
+    """
+    workloads = list(workloads or WORKLOAD_NAMES)
+    records = records or default_records()
+    model = model or CostModel()
+    fractions: Dict[str, float] = {}
+    product = 1.0
+    for wl in workloads:
+        ideal = run_workload(wl, "DRAM-Only", records_per_thread=records)
+        full = run_workload(wl, "SkyByte-Full", records_per_thread=records)
+        frac = full.stats.throughput_ipns / max(ideal.stats.throughput_ipns, 1e-12)
+        fractions[wl] = frac
+        product *= frac
+    geomean = product ** (1.0 / len(workloads)) if workloads else 0.0
+    return {
+        "performance_fraction": fractions,
+        "performance_fraction_geomean": geomean,
+        "cost_ratio": model.cost_ratio,
+        "setup_cost_ratio": model.setup_cost_ratio,
+        "cost_effectiveness": geomean * model.cost_ratio,
+        "dram_only_cost_usd": model.dram_only_cost,
+        "skybyte_cost_usd": model.skybyte_cost,
+    }

@@ -1,0 +1,40 @@
+"""Fig. 23: alternative page migration mechanisms (§VI-H).
+
+Compares SkyByte's per-page-counter promotion (CP / Full) against TPP's
+sampling-based promotion (CT / WCT) and AstriFlash's host-DRAM-as-cache
+organisation, all normalized to SkyByte-C.  Paper shape: CP edges out CT
+(sampling is less accurate), CP beats AstriFlash-CXL (fully-associative
+hot-page placement vs set-associative on-demand paging), WCT shows the
+write log composes with TPP, and Full wins overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import default_records, run_workload
+from repro.variants import MIGRATION_VARIANTS
+from repro.workloads.suites import WORKLOAD_NAMES
+
+
+def fig23_migration_mechanisms(
+    workloads: Optional[Sequence[str]] = None,
+    variants: Optional[Sequence[str]] = None,
+    records: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 23: normalized execution time, SkyByte-C = 1.0 (lower is
+    better)."""
+    workloads = list(workloads or WORKLOAD_NAMES)
+    variants = list(variants or MIGRATION_VARIANTS)
+    records = records or default_records()
+    rows: Dict[str, Dict[str, float]] = {}
+    for wl in workloads:
+        base = None
+        per_variant: Dict[str, float] = {}
+        for variant in variants:
+            r = run_workload(wl, variant, records_per_thread=records)
+            if base is None:
+                base = r
+            per_variant[variant] = 1.0 / max(r.speedup_over(base), 1e-12)
+        rows[wl] = per_variant
+    return rows

@@ -1,0 +1,141 @@
+"""Experiment harness: one function to run (workload, variant) pairs.
+
+All benchmarks, examples and figure drivers go through
+:func:`run_workload`, so every experiment shares the same scaling rules:
+
+* capacities are scaled by ``scale`` (default 512) with all of the
+  paper's ratios preserved (see :func:`repro.config.scaled_config`);
+* trace lengths default to a laptop-friendly size and can be raised via
+  the ``REPRO_RECORDS`` environment variable for higher-fidelity runs;
+* thread counts follow the paper's rule (3x cores with context
+  switching, == cores otherwise) unless overridden.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.config import SimConfig, scaled_config
+from repro.sim.stats import SimStats
+from repro.sim.system import System
+from repro.variants import DesignVariant, get_variant
+from repro.workloads.suites import get_model
+
+DEFAULT_SCALE = 512
+
+
+def default_records() -> int:
+    """Trace records per thread; override with REPRO_RECORDS."""
+    return int(os.environ.get("REPRO_RECORDS", "3000"))
+
+
+@dataclass
+class RunResult:
+    """Everything a figure needs from one simulation run."""
+
+    workload: str
+    variant: str
+    threads: int
+    stats: SimStats
+    config: SimConfig
+
+    @property
+    def execution_ns(self) -> float:
+        return self.stats.execution_ns
+
+    @property
+    def throughput(self) -> float:
+        return self.stats.throughput_ipns
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """Throughput ratio of self over ``other`` (same trace workload)."""
+        if self.stats.throughput_ipns == 0:
+            return 0.0
+        return self.stats.throughput_ipns / max(other.stats.throughput_ipns, 1e-12)
+
+
+def build_config(
+    scale: int = DEFAULT_SCALE,
+    timing: str = "ULL",
+    seed: int = 42,
+    threads: int = 8,
+    cs_threshold_ns: Optional[float] = None,
+    t_policy: Optional[str] = None,
+    write_log_bytes: Optional[int] = None,
+    dram_bytes: Optional[int] = None,
+    host_budget_bytes: Optional[int] = None,
+    warmup_fraction: float = 0.1,
+) -> SimConfig:
+    """Assemble a scaled config with the common experiment overrides."""
+    config = scaled_config(scale=scale, threads=threads, timing=timing, seed=seed)
+    config = config.replace(warmup_fraction=warmup_fraction)
+    ssd_overrides: Dict[str, object] = {}
+    if dram_bytes is not None:
+        ssd_overrides["dram_bytes"] = dram_bytes
+        # Keep the paper's 1:7 log:cache split unless told otherwise.
+        if write_log_bytes is None:
+            ssd_overrides["write_log_bytes"] = max(dram_bytes // 8, 4096)
+    if write_log_bytes is not None:
+        ssd_overrides["write_log_bytes"] = write_log_bytes
+    if ssd_overrides:
+        config = config.with_ssd(**ssd_overrides)
+    os_overrides: Dict[str, object] = {}
+    if cs_threshold_ns is not None:
+        os_overrides["cs_threshold_ns"] = cs_threshold_ns
+    if t_policy is not None:
+        os_overrides["t_policy"] = t_policy
+    if os_overrides:
+        config = config.with_os(**os_overrides)
+    if host_budget_bytes is not None:
+        config = config.with_cpu(host_promote_budget_bytes=host_budget_bytes)
+    return config
+
+
+def run_workload(
+    workload: str,
+    variant: str,
+    *,
+    scale: int = DEFAULT_SCALE,
+    records_per_thread: Optional[int] = None,
+    threads: Optional[int] = None,
+    timing: str = "ULL",
+    seed: int = 42,
+    cs_threshold_ns: Optional[float] = None,
+    t_policy: Optional[str] = None,
+    write_log_bytes: Optional[int] = None,
+    dram_bytes: Optional[int] = None,
+    host_budget_bytes: Optional[int] = None,
+    warmup_fraction: float = 0.1,
+    max_ns: Optional[float] = None,
+) -> RunResult:
+    """Simulate one (workload, design) pair and return its stats."""
+    design: DesignVariant = get_variant(variant)
+    if records_per_thread is None:
+        records_per_thread = default_records()
+    base = build_config(
+        scale=scale,
+        timing=timing,
+        seed=seed,
+        cs_threshold_ns=cs_threshold_ns,
+        t_policy=t_policy,
+        write_log_bytes=write_log_bytes,
+        dram_bytes=dram_bytes,
+        host_budget_bytes=host_budget_bytes,
+        warmup_fraction=warmup_fraction,
+    )
+    if threads is None:
+        threads = design.default_threads(base.cpu.cores)
+    config = base.replace(threads=threads)
+    model = get_model(workload, scale=scale, seed=seed)
+    traces = model.generate(threads, records_per_thread)
+    system = System(config, traces, design, workload_mlp=model.spec.mlp)
+    stats = system.run(max_ns=max_ns)
+    return RunResult(
+        workload=workload,
+        variant=variant,
+        threads=threads,
+        stats=stats,
+        config=system.config,
+    )

@@ -1,0 +1,165 @@
+"""Sensitivity studies: Figs. 19-22 (§VI-E/F/G).
+
+Fig. 19/20 sweep the write-log size at fixed total SSD DRAM; Fig. 21
+sweeps the SSD DRAM size (host budget and log scaled along, as in the
+paper); Fig. 22 swaps the flash timing between ULL/ULL2/SLC/MLC and
+varies SkyByte-Full's thread count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.config import KB
+from repro.experiments.runner import default_records, run_workload
+from repro.workloads.suites import WORKLOAD_NAMES
+
+#: Scaled-down analogue of Fig. 19/20's 0.5 MB..256 MB sweep.  The
+#: paper's capacities divide by the default scale factor (512); we sweep
+#: the same proportional range of the 1 MB SSD DRAM.
+FIG19_LOG_SIZES = (16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB)
+
+#: Scaled analogue of Fig. 21's 0.125..2 GB SSD DRAM sweep.
+FIG21_DRAM_SIZES = (256 * KB, 512 * KB, 1024 * KB, 2048 * KB, 4096 * KB)
+
+FIG22_TIMINGS = ("ULL", "ULL2", "SLC", "MLC")
+
+
+def fig19_log_size_performance(
+    workloads: Optional[Sequence[str]] = None,
+    log_sizes: Sequence[int] = FIG19_LOG_SIZES,
+    records: Optional[int] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Fig. 19: SkyByte-Full execution time vs write-log size (total SSD
+    DRAM fixed).  Normalized to the largest log.  Paper shape: a log of
+    ~1/8 of SSD DRAM already suffices; tiny logs hurt write-heavy
+    workloads."""
+    workloads = list(workloads or WORKLOAD_NAMES)
+    records = records or default_records()
+    rows: Dict[str, Dict[int, float]] = {}
+    for wl in workloads:
+        ref_ipns = None
+        sweep: Dict[int, float] = {}
+        for size in sorted(log_sizes, reverse=True):
+            r = run_workload(
+                wl, "SkyByte-Full", records_per_thread=records,
+                write_log_bytes=size,
+            )
+            ipns = max(r.stats.throughput_ipns, 1e-12)
+            if ref_ipns is None:
+                ref_ipns = ipns
+            sweep[size] = ref_ipns / ipns
+        rows[wl] = dict(sorted(sweep.items()))
+    return rows
+
+
+def fig20_log_size_traffic(
+    workloads: Optional[Sequence[str]] = None,
+    log_sizes: Sequence[int] = FIG19_LOG_SIZES,
+    records: Optional[int] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Fig. 20: flash write traffic vs write-log size, normalized to the
+    smallest log.  Paper shape: traffic falls steeply as the log (and so
+    the coalescing window) grows."""
+    workloads = list(workloads or WORKLOAD_NAMES)
+    records = records or default_records()
+    rows: Dict[str, Dict[int, float]] = {}
+    for wl in workloads:
+        ref_rate = None
+        sweep: Dict[int, float] = {}
+        for size in sorted(log_sizes):
+            r = run_workload(
+                wl, "SkyByte-Full", records_per_thread=records,
+                write_log_bytes=size,
+            )
+            rate = r.stats.flash_page_writes / max(r.stats.instructions, 1)
+            if ref_rate is None:
+                ref_rate = max(rate, 1e-12)
+            sweep[size] = rate / ref_rate
+        rows[wl] = sweep
+    return rows
+
+
+def fig21_dram_size(
+    workloads: Optional[Sequence[str]] = None,
+    dram_sizes: Sequence[int] = FIG21_DRAM_SIZES,
+    variants: Optional[Sequence[str]] = None,
+    records: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Fig. 21: execution time vs SSD DRAM cache size per design.
+
+    As in the paper, the host promotion budget keeps its 4:1 ratio to
+    the SSD DRAM, and the write log its 1:8 share.  Normalized to
+    SkyByte-Full at the default (middle) size.  Shape: SkyByte-Full wins
+    at every size; a small SkyByte beats a much larger Base-CSSD.
+    """
+    workloads = list(workloads or WORKLOAD_NAMES)
+    variants = list(variants or ["Base-CSSD", "SkyByte-WP", "SkyByte-Full"])
+    records = records or default_records()
+    sizes = sorted(dram_sizes)
+    reference_size = sizes[len(sizes) // 2]
+    rows: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for wl in workloads:
+        ref = run_workload(
+            wl, "SkyByte-Full", records_per_thread=records,
+            dram_bytes=reference_size, host_budget_bytes=reference_size * 4,
+        )
+        ref_ipns = max(ref.stats.throughput_ipns, 1e-12)
+        per_variant: Dict[str, Dict[int, float]] = {}
+        for variant in variants:
+            sweep: Dict[int, float] = {}
+            for size in sizes:
+                r = run_workload(
+                    wl, variant, records_per_thread=records,
+                    dram_bytes=size, host_budget_bytes=size * 4,
+                )
+                sweep[size] = ref_ipns / max(r.stats.throughput_ipns, 1e-12)
+            per_variant[variant] = sweep
+        rows[wl] = per_variant
+    return rows
+
+
+def fig22_flash_latency(
+    workloads: Optional[Sequence[str]] = None,
+    timings: Sequence[str] = FIG22_TIMINGS,
+    variants: Optional[Sequence[str]] = None,
+    thread_counts: Sequence[int] = (16, 24, 32),
+    records: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 22: performance with ULL/ULL2/SLC/MLC flash.
+
+    Returns {workload: {timing: {design: normalized_time}}} where designs
+    include SkyByte-P/W/WP and SkyByte-Full at several thread counts,
+    normalized to SkyByte-Full-24 with ULL flash.  Paper shape: slower
+    flash widens SkyByte's advantage, and more threads keep hiding the
+    longer latency.
+    """
+    workloads = list(workloads or WORKLOAD_NAMES)
+    variants = list(variants or ["SkyByte-P", "SkyByte-WP"])
+    records = records or default_records()
+    rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for wl in workloads:
+        ref = run_workload(
+            wl, "SkyByte-Full", records_per_thread=records, threads=24,
+            timing="ULL",
+        )
+        ref_ipns = max(ref.stats.throughput_ipns, 1e-12)
+        per_timing: Dict[str, Dict[str, float]] = {}
+        for timing in timings:
+            cell: Dict[str, float] = {}
+            for variant in variants:
+                r = run_workload(
+                    wl, variant, records_per_thread=records, timing=timing
+                )
+                cell[variant] = ref_ipns / max(r.stats.throughput_ipns, 1e-12)
+            for threads in thread_counts:
+                r = run_workload(
+                    wl, "SkyByte-Full", records_per_thread=records,
+                    threads=threads, timing=timing,
+                )
+                cell[f"SkyByte-Full-{threads}"] = ref_ipns / max(
+                    r.stats.throughput_ipns, 1e-12
+                )
+            per_timing[timing] = cell
+        rows[wl] = per_timing
+    return rows

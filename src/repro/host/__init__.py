@@ -1,0 +1,1 @@
+"""Host OS models: threads, scheduler, page table, PLB."""

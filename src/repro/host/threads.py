@@ -1,0 +1,103 @@
+"""Software thread contexts.
+
+A :class:`ThreadContext` wraps one per-thread instruction trace and the
+replay cursor the coordinated context switch needs: when a load triggers
+the Long Delay Exception, its address is saved "such that when the thread
+is switched back, it will resume from this instruction and re-issue this
+memory access" (§III-A, step C4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+#: One trace record: (instructions since previous memory op, is_write, addr).
+TraceRecord = Tuple[int, bool, int]
+
+
+@dataclass
+class Window:
+    """A ROB-bounded batch of work handed to the core model."""
+
+    instructions: int
+    ops: List[TraceRecord] = field(default_factory=list)
+
+
+class ThreadContext:
+    """One software thread replaying a memory trace."""
+
+    def __init__(self, tid: int, trace: Sequence[TraceRecord]) -> None:
+        self.tid = tid
+        self.trace = trace
+        self.pos = 0
+        #: Memory op to re-issue first on resume (set on context switch).
+        self.replay: Optional[TraceRecord] = None
+        #: Records fetched into a window but squashed by a context switch.
+        self._pushback: List[TraceRecord] = []
+        #: Wall time received on a core (CFS vruntime).
+        self.runtime_ns = 0.0
+        self.instructions_done = 0
+        #: True right after a context switch brought this thread back:
+        #: its first window replays the squashed access, and an immediate
+        #: re-switch on the same access would ping-pong.
+        self.just_resumed = False
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.pos >= len(self.trace)
+            and self.replay is None
+            and not self._pushback
+        )
+
+    @property
+    def remaining_records(self) -> int:
+        n = len(self.trace) - self.pos + len(self._pushback)
+        return n + (1 if self.replay is not None else 0)
+
+    def _next_record(self) -> Optional[TraceRecord]:
+        if self.replay is not None:
+            record = self.replay
+            self.replay = None
+            return record
+        if self._pushback:
+            return self._pushback.pop(0)
+        if self.pos < len(self.trace):
+            record = self.trace[self.pos]
+            self.pos += 1
+            return record
+        return None
+
+    def next_window(self, max_instructions: int, max_ops: int) -> Optional[Window]:
+        """Build the next ROB/MSHR-bounded window of records.
+
+        Returns None when the trace is exhausted.  At least one record is
+        always included so a record whose gap exceeds the ROB still makes
+        progress.
+        """
+        window = Window(instructions=0)
+        while len(window.ops) < max_ops:
+            record = self._next_record()
+            if record is None:
+                break
+            gap = record[0]
+            if window.ops and window.instructions + gap > max_instructions:
+                # Does not fit: push back for the next window.
+                self._pushback.insert(0, record)
+                break
+            window.instructions += gap
+            window.ops.append(record)
+        if not window.ops and window.instructions == 0:
+            return None
+        return window
+
+    def squash_after(self, index: int, window: Window) -> TraceRecord:
+        """Context switch at the ``index``-th op of ``window``: that op is
+        saved for replay (with its compute gap already consumed) and every
+        later op is pushed back untouched.  Returns the replay record."""
+        triggering = window.ops[index]
+        # Its gap instructions were executed before the exception retired.
+        self.replay = (0, triggering[1], triggering[2])
+        self._pushback = list(window.ops[index + 1 :]) + self._pushback
+        return self.replay

@@ -1,0 +1,1 @@
+"""Simulation engine, statistics, and full-system composition."""

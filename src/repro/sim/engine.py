@@ -1,0 +1,72 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event queue: events are ``(time, seq, callback)``
+triples ordered by time then by insertion order, so simultaneous events run
+in FIFO order and runs are reproducible.  Every component of the simulator
+(flash channels, the SSD controller, CPU cores, the OS scheduler, migration
+engines) schedules work through a single :class:`Engine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class Engine:
+    """A deterministic discrete-event simulator clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` ns from now.
+
+        Negative delays are clamped to zero (the event runs "now", after any
+        events already queued for the current instant).
+        """
+        if delay < 0:
+            delay = 0.0
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``when``."""
+        self.schedule(when - self._now, callback)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulation time when the loop exited.
+        """
+        self._stopped = False
+        queue = self._queue
+        while queue and not self._stopped:
+            when, _seq, callback = queue[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(queue)
+            self._now = when
+            callback()
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

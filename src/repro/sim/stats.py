@@ -1,0 +1,414 @@
+"""Statistics collection for the SkyByte simulator.
+
+One :class:`SimStats` object is shared by every component of a system
+simulation.  It implements exactly the accounting the paper's figures need:
+
+* off-chip latency distribution (Fig. 3) via a log-bucketed histogram,
+* compute/memory boundedness breakdown (Figs. 4 and 10),
+* per-page cacheline locality CDFs for flash reads and flushes (Figs. 5/6),
+* memory request classes H-R/W, S-R-H, S-R-M, S-W (Fig. 16),
+* AMAT components host-DRAM / CXL protocol / indexing / SSD DRAM / flash
+  (Fig. 17, computed with the paper's three-level hierarchy model),
+* flash write traffic (Figs. 18 and 20) and read latency (Table III),
+* throughput and SSD bandwidth utilisation (Fig. 15).
+
+Stats collection honours a warmup window: all mutators are no-ops while
+``enabled`` is False, mirroring the paper's trace warmup phase.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import CACHELINES_PER_PAGE
+
+# Request classes of Fig. 16.
+HOST_DRAM = "H-R/W"  # served by (promoted pages in) host DRAM
+SSD_READ_HIT = "S-R-H"  # read hit in SSD write log or data cache
+SSD_READ_MISS = "S-R-M"  # read miss -> flash access
+SSD_WRITE = "S-W"  # write appended to log / absorbed by SSD DRAM
+
+REQUEST_CLASSES = (HOST_DRAM, SSD_READ_HIT, SSD_READ_MISS, SSD_WRITE)
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram (10 buckets per decade).
+
+    Supports the percentile queries used to plot Fig. 3's latency CDFs
+    without storing every sample.
+    """
+
+    BUCKETS_PER_DECADE = 10
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._min = math.inf
+
+    def record(self, latency_ns: float) -> None:
+        if latency_ns < 1.0:
+            latency_ns = 1.0
+        bucket = int(math.log10(latency_ns) * self.BUCKETS_PER_DECADE)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self._total += 1
+        self._sum += latency_ns
+        self._max = max(self._max, latency_ns)
+        self._min = min(self._min, latency_ns)
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def min(self) -> float:
+        return self._min if self._total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (0 < p <= 100).
+
+        Returns the upper edge of the bucket containing the percentile.
+        """
+        if not self._total:
+            return 0.0
+        target = max(1, math.ceil(self._total * p / 100.0))
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if seen >= target:
+                return 10 ** ((bucket + 1) / self.BUCKETS_PER_DECADE)
+        return self._max
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """Return (latency_ns, cumulative_fraction) points for plotting."""
+        points: List[Tuple[float, float]] = []
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            edge = 10 ** ((bucket + 1) / self.BUCKETS_PER_DECADE)
+            points.append((edge, seen / self._total))
+        return points
+
+    def fraction_below(self, latency_ns: float) -> float:
+        """Fraction of samples at or below ``latency_ns``."""
+        if not self._total:
+            return 0.0
+        seen = 0
+        for bucket in sorted(self._counts):
+            edge = 10 ** ((bucket + 1) / self.BUCKETS_PER_DECADE)
+            if edge > latency_ns:
+                break
+            seen += self._counts[bucket]
+        return seen / self._total
+
+
+class LocalityTracker:
+    """Collects the per-page cacheline-touch ratios of Figs. 5 and 6.
+
+    ``record(n_touched)`` is called once per page event (a flash read for
+    Fig. 5, a flush/writeback for Fig. 6) with the number of distinct
+    cachelines the host touched in that page while it was resident.
+    """
+
+    def __init__(self) -> None:
+        # counts[k] = number of page events with exactly k lines touched.
+        self._counts = [0] * (CACHELINES_PER_PAGE + 1)
+        self._total = 0
+
+    def record(self, lines_touched: int) -> None:
+        lines_touched = max(0, min(CACHELINES_PER_PAGE, lines_touched))
+        self._counts[lines_touched] += 1
+        self._total += 1
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """(ratio_of_lines, cumulative_fraction_of_pages) points."""
+        points: List[Tuple[float, float]] = []
+        seen = 0
+        for k in range(CACHELINES_PER_PAGE + 1):
+            seen += self._counts[k]
+            if self._counts[k]:
+                points.append((k / CACHELINES_PER_PAGE, seen / self._total))
+        return points
+
+    def fraction_of_pages_below(self, line_ratio: float) -> float:
+        """Fraction of page events that touched at most ``line_ratio`` of
+        the page's cachelines (e.g. 0.4 for the paper's "<40% of lines in
+        >75% of pages" observation)."""
+        if not self._total:
+            return 0.0
+        limit = int(line_ratio * CACHELINES_PER_PAGE)
+        return sum(self._counts[: limit + 1]) / self._total
+
+    def mean_ratio(self) -> float:
+        if not self._total:
+            return 0.0
+        touched = sum(k * c for k, c in enumerate(self._counts))
+        return touched / (self._total * CACHELINES_PER_PAGE)
+
+
+class SimStats:
+    """Aggregate statistics for one simulation run."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+        # --- execution/boundedness (Figs. 2, 4, 10) ---
+        self.instructions = 0
+        self.compute_ns = 0.0
+        self.memory_stall_ns = 0.0
+        self.context_switch_ns = 0.0
+        self.context_switches = 0
+        self.start_ns = 0.0
+        self.end_ns = 0.0
+
+        # --- request classes and latencies (Figs. 3, 16) ---
+        self.request_counts: Dict[str, int] = {c: 0 for c in REQUEST_CLASSES}
+        self.offchip_latency = LatencyHistogram()
+        self.flash_read_latency = LatencyHistogram()
+
+        # --- AMAT components, exposed-time weighted (Fig. 17) ---
+        self.amat_host_dram_ns = 0.0
+        self.amat_protocol_ns = 0.0
+        self.amat_indexing_ns = 0.0
+        self.amat_ssd_dram_ns = 0.0
+        self.amat_flash_ns = 0.0
+        self.amat_accesses = 0
+
+        # --- flash traffic (Figs. 18, 20) ---
+        self.flash_page_reads = 0
+        self.flash_page_writes = 0
+        self.flash_block_erases = 0
+        self.gc_page_moves = 0
+        self.gc_invocations = 0
+        self.host_lines_written = 0
+        self.host_lines_read = 0
+
+        # --- SSD DRAM structures ---
+        self.log_appends = 0
+        self.log_coalesced_updates = 0
+        self.log_compactions = 0
+        self.compaction_pages_flushed = 0
+        self.compaction_ns = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.cache_dirty_evictions = 0
+        self.prefetch_issued = 0
+
+        # --- migrations (Fig. 23 designs) ---
+        self.pages_promoted = 0
+        self.pages_demoted = 0
+        self.promoted_hits = 0
+
+        # --- locality (Figs. 5/6) ---
+        self.read_locality = LocalityTracker()
+        self.write_locality = LocalityTracker()
+
+        # --- link utilisation (Fig. 15) ---
+        self.cxl_bytes = 0
+
+    # -- mutators (no-ops during warmup) ------------------------------------
+
+    def add_instructions(self, n: int) -> None:
+        if self.enabled:
+            self.instructions += n
+
+    def add_compute(self, ns: float) -> None:
+        if self.enabled:
+            self.compute_ns += ns
+
+    def add_memory_stall(self, ns: float) -> None:
+        if self.enabled:
+            self.memory_stall_ns += ns
+
+    def add_context_switch(self, ns: float) -> None:
+        if self.enabled:
+            self.context_switch_ns += ns
+            self.context_switches += 1
+
+    def count_request(self, cls: str) -> None:
+        if self.enabled:
+            self.request_counts[cls] += 1
+
+    def record_offchip(self, latency_ns: float) -> None:
+        if self.enabled:
+            self.offchip_latency.record(latency_ns)
+
+    def record_flash_read(self, latency_ns: float) -> None:
+        if self.enabled:
+            self.flash_read_latency.record(latency_ns)
+
+    def record_amat(
+        self,
+        host_dram: float = 0.0,
+        protocol: float = 0.0,
+        indexing: float = 0.0,
+        ssd_dram: float = 0.0,
+        flash: float = 0.0,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.amat_host_dram_ns += host_dram
+        self.amat_protocol_ns += protocol
+        self.amat_indexing_ns += indexing
+        self.amat_ssd_dram_ns += ssd_dram
+        self.amat_flash_ns += flash
+        self.amat_accesses += 1
+
+    def add_amat_extra(
+        self,
+        host_dram: float = 0.0,
+        protocol: float = 0.0,
+        indexing: float = 0.0,
+        ssd_dram: float = 0.0,
+        flash: float = 0.0,
+    ) -> None:
+        """Add AMAT component time *without* counting a new access -- used
+        when a wrapper layer (CXL link, host cache) adds cost to an access
+        another layer already recorded."""
+        if not self.enabled:
+            return
+        self.amat_host_dram_ns += host_dram
+        self.amat_protocol_ns += protocol
+        self.amat_indexing_ns += indexing
+        self.amat_ssd_dram_ns += ssd_dram
+        self.amat_flash_ns += flash
+
+    def unrecord_access(self, request_class: str, breakdown: Dict[str, float]) -> None:
+        """Reverse the AMAT/request-class accounting of one access.
+
+        The paper excludes squashed instructions: "a memory access
+        triggering a context switch is excluded from calculating AMAT
+        since this instruction is squashed.  The replayed instruction that
+        eventually retires is included."  Device-side effects (the flash
+        fetch, cache fills) are *not* reversed -- they really happened.
+        """
+        if not self.enabled:
+            return
+        if self.request_counts.get(request_class, 0) > 0:
+            self.request_counts[request_class] -= 1
+        self.amat_host_dram_ns -= breakdown.get("host_dram", 0.0)
+        self.amat_protocol_ns -= breakdown.get("protocol", 0.0)
+        self.amat_indexing_ns -= breakdown.get("indexing", 0.0)
+        self.amat_ssd_dram_ns -= breakdown.get("ssd_dram", 0.0)
+        self.amat_flash_ns -= breakdown.get("flash", 0.0)
+        if self.amat_accesses > 0:
+            self.amat_accesses -= 1
+
+    def add_cxl_bytes(self, n: int) -> None:
+        if self.enabled:
+            self.cxl_bytes += n
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def execution_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    @property
+    def amat_ns(self) -> float:
+        """Average memory access time over all off-chip accesses."""
+        if not self.amat_accesses:
+            return 0.0
+        total = (
+            self.amat_host_dram_ns
+            + self.amat_protocol_ns
+            + self.amat_indexing_ns
+            + self.amat_ssd_dram_ns
+            + self.amat_flash_ns
+        )
+        return total / self.amat_accesses
+
+    def amat_breakdown(self) -> Dict[str, float]:
+        """Per-access AMAT components (Fig. 17's stack order)."""
+        n = max(1, self.amat_accesses)
+        return {
+            "Host DRAM": self.amat_host_dram_ns / n,
+            "CXL Protocol": self.amat_protocol_ns / n,
+            "Indexing": self.amat_indexing_ns / n,
+            "SSD DRAM": self.amat_ssd_dram_ns / n,
+            "Flash": self.amat_flash_ns / n,
+        }
+
+    def boundedness(self) -> Dict[str, float]:
+        """Fractions of execution time bounded by memory / compute /
+        context switching (Figs. 4 and 10)."""
+        total = self.compute_ns + self.memory_stall_ns + self.context_switch_ns
+        if total <= 0:
+            return {"memory": 0.0, "compute": 0.0, "context_switch": 0.0}
+        return {
+            "memory": self.memory_stall_ns / total,
+            "compute": self.compute_ns / total,
+            "context_switch": self.context_switch_ns / total,
+        }
+
+    @property
+    def flash_bytes_written(self) -> int:
+        from repro.config import PAGE_SIZE
+
+        return self.flash_page_writes * PAGE_SIZE
+
+    @property
+    def write_amplification(self) -> float:
+        """Flash bytes written per host byte written (Fig. 18's metric,
+        inverted: higher means more amplification)."""
+        from repro.config import CACHELINE_SIZE
+
+        host_bytes = self.host_lines_written * CACHELINE_SIZE
+        if host_bytes == 0:
+            return 0.0
+        return self.flash_bytes_written / host_bytes
+
+    @property
+    def throughput_ipns(self) -> float:
+        """Instructions per nanosecond across all cores."""
+        if self.execution_ns <= 0:
+            return 0.0
+        return self.instructions / self.execution_ns
+
+    @property
+    def cxl_bandwidth_bytes_per_ns(self) -> float:
+        """Average CXL link bandwidth used over the measured window."""
+        if self.execution_ns <= 0:
+            return 0.0
+        return self.cxl_bytes / self.execution_ns
+
+    def request_breakdown(self) -> Dict[str, float]:
+        """Fractions per request class (Fig. 16)."""
+        total = sum(self.request_counts.values())
+        if total == 0:
+            return {c: 0.0 for c in REQUEST_CLASSES}
+        return {c: self.request_counts[c] / total for c in REQUEST_CLASSES}
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of headline metrics, handy for tables."""
+        bd = self.boundedness()
+        return {
+            "execution_ns": self.execution_ns,
+            "instructions": float(self.instructions),
+            "throughput_ipns": self.throughput_ipns,
+            "amat_ns": self.amat_ns,
+            "context_switches": float(self.context_switches),
+            "flash_page_reads": float(self.flash_page_reads),
+            "flash_page_writes": float(self.flash_page_writes),
+            "flash_block_erases": float(self.flash_block_erases),
+            "write_amplification": self.write_amplification,
+            "memory_bound_frac": bd["memory"],
+            "compute_bound_frac": bd["compute"],
+            "pages_promoted": float(self.pages_promoted),
+            "mean_flash_read_ns": self.flash_read_latency.mean,
+        }

@@ -1,0 +1,295 @@
+"""Full-system composition: cores + OS + CXL link + SSD device.
+
+:class:`System` wires one simulation run together: it builds the device
+personality a :class:`~repro.variants.DesignVariant` asks for, installs
+the migration engine and scheduler, preconditions the flash (so GC
+triggers, as in §VI-A), replays the per-thread traces on the interval
+cores, and collects a :class:`~repro.sim.stats.SimStats`.
+
+The host-side memory path lives here: promoted pages are served from
+host DRAM (the H-R/W class of Fig. 16); everything else crosses the CXL
+link with its protocol latency and serialisation, matching the paper's
+AMAT model of a three-level hierarchy where "access to SSD DRAM will
+bypass host DRAM".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines.astriflash import AstriFlashController
+from repro.baselines.tpp import TPPHotnessPolicy
+from repro.config import CACHELINE_SIZE, SimConfig
+from repro.core.controller import SkyByteController
+from repro.core.migration import MigrationEngine, SkyByteHotnessPolicy
+from repro.cpu.core import Core
+from repro.cpu.dram import HostDRAM
+from repro.cxl.link import CXLLink
+from repro.cxl.protocol import M2SOpcode, MemRequest
+from repro.host.page_table import PageTable
+from repro.host.scheduler import Scheduler
+from repro.host.threads import ThreadContext
+from repro.sim.engine import Engine
+from repro.sim.stats import HOST_DRAM, SimStats
+from repro.ssd.base_controller import BaseCSSDController
+from repro.ssd.interface import AccessResult
+from repro.variants import DesignVariant
+from repro.workloads.trace import TraceRecord
+
+#: Wire sizes: request header, and a data flit (64 B line + header).
+REQ_BYTES = 8
+DATA_BYTES = CACHELINE_SIZE + 4
+NDR_BYTES = 4
+
+
+class System:
+    """One complete simulated machine executing one workload."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        traces: Sequence[Sequence[TraceRecord]],
+        variant: DesignVariant,
+        workload_mlp: int = 8,
+    ) -> None:
+        self.workload_mlp = max(1, workload_mlp)
+        self.config = variant.apply(config)
+        self.variant = variant
+        self.engine = Engine()
+        self.stats = SimStats()
+        self.link = CXLLink(self.config.cxl, self.stats)
+        self.host_dram = HostDRAM(self.config.cpu)
+        self.page_table = PageTable()
+        self.scheduler = Scheduler(self.config.os.t_policy, seed=self.config.seed)
+
+        self.controller = self._build_controller()
+        self.migration: Optional[MigrationEngine] = None
+        if (
+            variant.promotion
+            and not variant.astriflash
+            and not variant.dram_only
+        ):
+            policy = self._build_hotness_policy()
+            self.migration = MigrationEngine(
+                self.config,
+                self.controller,
+                self.page_table,
+                self.link,
+                self.engine,
+                self.stats,
+                policy=policy,
+            )
+            self.controller.on_page_access = self.migration.on_page_access
+            self.migration.on_tlb_shootdown = self._broadcast_shootdown
+
+        self.threads = [
+            ThreadContext(tid, trace) for tid, trace in enumerate(traces)
+        ]
+        self.cores: List[Core] = [
+            Core(cid, self.config, self.engine, self.scheduler, self)
+            for cid in range(self.config.cpu.cores)
+        ]
+
+        self._threads_done = 0
+        self._total_instructions = sum(
+            sum(r[0] for r in t) + len(t) for t in traces
+        )
+        self._progress = 0
+        self._finished = False
+        self._traces = traces
+
+    # -- construction helpers ----------------------------------------------------
+
+    def _build_controller(self):
+        if self.variant.dram_only:
+            return None
+        if self.variant.astriflash:
+            return AstriFlashController(
+                self.config, self.engine, self.stats, self.link
+            )
+        if self.variant.write_log:
+            return SkyByteController(
+                self.config,
+                self.engine,
+                self.stats,
+                ctx_switch_enabled=self.variant.ctx_switch,
+            )
+        return BaseCSSDController(
+            self.config,
+            self.engine,
+            self.stats,
+            ctx_switch_enabled=self.variant.ctx_switch,
+        )
+
+    def _build_hotness_policy(self):
+        if self.config.skybyte.migration_mechanism == "tpp":
+            return TPPHotnessPolicy(seed=self.config.seed)
+        return SkyByteHotnessPolicy(self.config.ssd.promotion_threshold)
+
+    def _broadcast_shootdown(self, cost_ns: float) -> None:
+        for core in self.cores:
+            core.add_tlb_shootdown(cost_ns)
+
+    # -- properties the cores consult ------------------------------------------------
+
+    @property
+    def switch_cost_ns(self) -> float:
+        """Kernel switch for SkyByte designs, user-level for AstriFlash."""
+        if self.variant.astriflash:
+            return self.config.os.user_level_switch_ns
+        return self.config.os.context_switch_ns
+
+    # -- the host memory path -----------------------------------------------------------
+
+    def memory_access(
+        self, core_id: int, tid: int, is_write: bool, address: int, now: float
+    ) -> AccessResult:
+        """One 64 B access from a core; returns its timing and hint."""
+        if self.config.dram_only:
+            complete = self.host_dram.access(now)
+            self.stats.count_request(HOST_DRAM)
+            latency = complete - now
+            self.stats.record_amat(host_dram=latency)
+            if is_write and self.stats.enabled:
+                self.stats.host_lines_written += 1
+            elif self.stats.enabled:
+                self.stats.host_lines_read += 1
+            return AccessResult(
+                complete_ns=complete,
+                request_class=HOST_DRAM,
+                breakdown={"host_dram": latency},
+            )
+
+        request = MemRequest(
+            opcode=M2SOpcode.MEM_WR if is_write else M2SOpcode.MEM_RD,
+            address=address,
+            core=core_id,
+            thread=tid,
+            issue_ns=now,
+        )
+
+        if self.variant.astriflash:
+            return self.controller.access(request, now)
+
+        page = request.page
+        if self.page_table.is_promoted(page):
+            # H-R/W: the page was promoted; served by host DRAM.
+            self.page_table.record_host_access(
+                page, request.line_offset, is_write, now
+            )
+            complete = self.host_dram.access(now)
+            latency = complete - now
+            self.stats.count_request(HOST_DRAM)
+            self.stats.record_amat(host_dram=latency)
+            if self.stats.enabled:
+                self.stats.promoted_hits += 1
+                if is_write:
+                    self.stats.host_lines_written += 1
+            return AccessResult(
+                complete_ns=complete,
+                request_class=HOST_DRAM,
+                breakdown={"host_dram": latency},
+            )
+
+        # CXL path: downstream request, device access, upstream response.
+        down_bytes = REQ_BYTES + (CACHELINE_SIZE if is_write else 0)
+        arrive_dev = self.link.send_downstream(now, down_bytes)
+        result = self.controller.access(request, arrive_dev)
+        up_bytes = NDR_BYTES if is_write else DATA_BYTES
+        arrive_host = self.link.send_upstream(result.complete_ns, up_bytes)
+        protocol = (arrive_dev - now) + (arrive_host - result.complete_ns)
+        self.stats.add_amat_extra(protocol=protocol)
+        result.breakdown["protocol"] = protocol
+        if result.delay_hint:
+            # The SkyByte-Delay NDR races ahead of the data.
+            decision_ns = result.breakdown.get("indexing", 0.0)
+            result.hint_arrival_ns = self.link.send_upstream(
+                arrive_dev + decision_ns, NDR_BYTES
+            )
+        result.complete_ns = arrive_host
+        if not is_write and self.stats.enabled:
+            self.stats.host_lines_read += 1
+        return result
+
+    # -- progress callbacks --------------------------------------------------------------
+
+    def note_progress(self, instructions: int) -> None:
+        """Progress counter (handy for debugging/monitoring hooks)."""
+        self._progress += instructions
+
+    def on_thread_done(self, thread: ThreadContext) -> None:
+        self._threads_done += 1
+        if self._threads_done >= len(self.threads):
+            self.stats.end_ns = self.engine.now
+            self._finished = True
+
+    # -- running -------------------------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Precondition the SSD (§VI-A: "We precondition the SSD to ensure
+        garbage collections will be triggered"), warm every cache with the
+        traces, and stage the threads."""
+        if self.controller is not None and hasattr(self.controller, "ftl"):
+            self.controller.ftl.precondition(self.config.ssd.logical_pages)
+        self._warm_caches()
+        for thread in self.threads:
+            self.scheduler.enqueue(thread)
+
+    def _warm_caches(self) -> None:
+        """Metadata-only replay of the traces to reach steady state before
+        timing starts (§VI-A's warmup): SSD DRAM structures fill, the LRU
+        orders settle, and hot pages get promoted."""
+        if self.config.dram_only or self.controller is None:
+            return
+        fraction = min(1.0, max(0.0, self.config.warmup_fraction))
+        if fraction == 0.0:
+            return
+        self.stats.enabled = False
+        cursors = [
+            trace[: int(len(trace) * fraction)] for trace in self._traces
+        ]
+        # Round-robin across threads to approximate concurrent interleaving.
+        indices = [0] * len(cursors)
+        live = set(range(len(cursors)))
+        while live:
+            for t in list(live):
+                trace = cursors[t]
+                i = indices[t]
+                if i >= len(trace):
+                    live.discard(t)
+                    continue
+                _gap, is_write, address = trace[i]
+                indices[t] = i + 1
+                page = address >> 12
+                line = (address >> 6) & 0x3F
+                if self.migration is not None:
+                    self.migration.warm_access(page, is_write)
+                if self.page_table.is_promoted(page):
+                    continue
+                self.controller.warm_access(page, line, is_write)
+        self.stats.enabled = True
+
+    def run(self, max_ns: Optional[float] = None) -> SimStats:
+        """Execute the full simulation; returns the populated stats."""
+        self.prepare()
+        self.stats.start_ns = self.engine.now
+        for core in self.cores:
+            core.start()
+        self.engine.run(until=max_ns)
+        if self.stats.end_ns < self.stats.start_ns:
+            self.stats.end_ns = self.engine.now
+        if self.controller is not None:
+            self.controller.drain(self.engine.now)
+            self.engine.run(until=max_ns)
+        return self.stats
+
+
+def run_system(
+    config: SimConfig,
+    traces: Sequence[Sequence[TraceRecord]],
+    variant: DesignVariant,
+    max_ns: Optional[float] = None,
+) -> SimStats:
+    """Convenience one-shot runner."""
+    system = System(config, traces, variant)
+    return system.run(max_ns=max_ns)

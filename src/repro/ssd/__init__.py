@@ -1,0 +1,2 @@
+"""SSD substrate: flash timing/geometry, channel queues, FTL, GC, and the
+baseline (Base-CSSD) controller."""

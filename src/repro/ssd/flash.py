@@ -1,0 +1,276 @@
+"""NAND flash array timing model.
+
+The flash array is organised as *channels* of chips/dies/planes
+(Table II: 16 channels x 8 chips x 8 dies for the paper's device).  Two
+resources matter for timing:
+
+* **dies** execute array operations (tR / tProg / tBERS) and overlap with
+  each other -- a channel with 64 dies can have 64 programs in flight;
+* the **channel bus** serialises page data transfers (a read's page must
+  cross the bus after tR; a program's page before tProg).
+
+Commands are dispatched to the earliest-free die of the target channel.
+:class:`FlashChannel` also keeps the queued-command counters Algorithm 1
+reads, and provides two latency estimators: the paper's literal FIFO
+queue-sum (``estimate_read_fifo_ns``, Algorithm 1 lines 5-6) and a
+die-aware variant (``estimate_read_ns``) that divides queued work across
+the channel's dies -- the natural reading of Algorithm 1 on a die-parallel
+channel, and the one the trigger policy uses.
+
+Physical page addresses (PPAs) are dense integers laid out channel-major::
+
+    ppa = channel * pages_per_channel + block_in_channel * pages_per_block
+          + page_in_block
+
+so ``channel_of`` and ``block_of`` are pure arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.config import FlashGeometry, FlashTiming
+from repro.sim.engine import Engine
+from repro.sim.stats import SimStats
+
+#: Channel bus time to move one 4 KB page (ONFI-class bus, ~5 GB/s).
+PAGE_TRANSFER_NS = 800.0
+
+#: Program suspend latency: modern ULL NAND (Z-NAND, XL-Flash) suspends an
+#: in-flight program so a read can proceed, costing roughly this much
+#: extra before the read's tR starts.  Erases are not suspendable here,
+#: so GC keeps its multi-millisecond read-blocking behaviour (§II-C).
+PROGRAM_SUSPEND_NS = 2_000.0
+
+
+class FlashChannel:
+    """One flash channel: parallel dies behind a serialising bus.
+
+    Reads have priority: an in-flight *program* on the target die is
+    suspended (costing :data:`PROGRAM_SUSPEND_NS`), while reads and
+    erases occupy the die exclusively.  Two per-die horizons implement
+    this: ``_die_free`` is the full horizon every program/erase waits
+    for; ``_die_read_free`` excludes suspendable program time.
+
+    The channel bus is modelled as a fixed per-page transfer latency
+    (no cross-command blocking): commands are submitted out of order in
+    simulated time (background compaction paces work into the future),
+    and a blocking horizon would make earlier-completing reads queue
+    behind later reservations.  Bus utilisation stays in single-digit
+    percents at this simulator's request rates, so contention is
+    negligible; the *die* horizons carry all the real queueing.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        dies: int,
+        timing: FlashTiming,
+        engine: Engine,
+        transfer_ns: float = PAGE_TRANSFER_NS,
+    ) -> None:
+        self.index = index
+        self.dies = max(1, dies)
+        self._timing = timing
+        self._engine = engine
+        self._transfer_ns = transfer_ns
+        self._die_free = [0.0] * self.dies
+        self._die_read_free = [0.0] * self.dies
+        self.queued_reads = 0
+        self.queued_programs = 0
+        self.queued_erases = 0
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time a new command could start on some die."""
+        return min(self._die_free)
+
+    @property
+    def drained_at(self) -> float:
+        """Time at which every queued command will have completed."""
+        return max(self._die_free)
+
+    def busy_ns(self, now: float) -> float:
+        """Remaining time until a new command could start a die op."""
+        return max(0.0, self.free_at - now)
+
+    # -- latency estimators ---------------------------------------------------
+
+    def estimate_read_fifo_ns(self) -> float:
+        """Algorithm 1 lines 5-6 verbatim (FIFO queue-sum):
+        ``read*(nread+1) + program*nwrite + erase*nerase``."""
+        t = self._timing
+        return (
+            t.read_ns * (self.queued_reads + 1)
+            + t.program_ns * self.queued_programs
+            + t.erase_ns * self.queued_erases
+        )
+
+    def estimate_read_ns(self, now: Optional[float] = None) -> float:
+        """Die-aware estimate for a *new* read submitted now: queued reads
+        and erases spread over the dies ahead of it, one suspend penalty
+        if programs are in flight, then the read's own tR and transfer.
+        This is Algorithm 1's queue-occupancy estimate adapted to a
+        die-parallel, read-priority channel."""
+        t = self._timing
+        queued = t.read_ns * self.queued_reads + t.erase_ns * self.queued_erases
+        suspend = PROGRAM_SUSPEND_NS if self.queued_programs else 0.0
+        return queued / self.dies + suspend + t.read_ns + self._transfer_ns
+
+    # -- command submission ------------------------------------------------------
+
+    def submit_read(self, now: float, on_done: Optional[Callable[[], None]] = None) -> float:
+        """Page read: die op (tR) then page transfer over the bus.
+
+        The read targets the die that is earliest-available *for reads*;
+        a program in flight there is suspended.
+        """
+        die = self._earliest_die(self._die_read_free)
+        start = max(now, self._die_read_free[die])
+        if self._die_free[die] > start:
+            # A suspendable program occupies the die: pay the suspend
+            # latency, and push the program's completion out by tR.
+            start += PROGRAM_SUSPEND_NS
+            self._die_free[die] += self._timing.read_ns + PROGRAM_SUSPEND_NS
+        array_done = start + self._timing.read_ns
+        self._die_read_free[die] = array_done
+        self._die_free[die] = max(self._die_free[die], array_done)
+        completion = array_done + self._transfer_ns
+        self._track(completion, "read", on_done)
+        return completion
+
+    def submit_program(self, now: float, on_done: Optional[Callable[[], None]] = None) -> float:
+        """Page program: page transfer in over the bus, then die op."""
+        bus_done = now + self._transfer_ns
+        die = self._earliest_die(self._die_free)
+        start = max(bus_done, self._die_free[die])
+        completion = start + self._timing.program_ns
+        self._die_free[die] = completion
+        # Reads need not wait for this program (suspendable).
+        self._track(completion, "program", on_done)
+        return completion
+
+    def submit_erase(self, now: float, on_done: Optional[Callable[[], None]] = None) -> float:
+        """Block erase: die-only, no data transfer, not suspendable."""
+        die = self._earliest_die(self._die_free)
+        start = max(now, self._die_free[die])
+        completion = start + self._timing.erase_ns
+        self._die_free[die] = completion
+        self._die_read_free[die] = max(self._die_read_free[die], completion)
+        self._track(completion, "erase", on_done)
+        return completion
+
+    def _earliest_die(self, horizon: List[float]) -> int:
+        best, best_t = 0, horizon[0]
+        for i in range(1, self.dies):
+            if horizon[i] < best_t:
+                best, best_t = i, horizon[i]
+        return best
+
+    def _track(self, completion: float, kind: str, on_done) -> None:
+        if kind == "read":
+            self.queued_reads += 1
+        elif kind == "program":
+            self.queued_programs += 1
+        else:
+            self.queued_erases += 1
+
+        def _complete() -> None:
+            if kind == "read":
+                self.queued_reads -= 1
+            elif kind == "program":
+                self.queued_programs -= 1
+            else:
+                self.queued_erases -= 1
+            if on_done is not None:
+                on_done()
+
+        self._engine.schedule_at(completion, _complete)
+
+
+class FlashArray:
+    """The full multi-channel flash array."""
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        engine: Engine,
+        stats: SimStats,
+        transfer_ns: float = PAGE_TRANSFER_NS,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self._stats = stats
+        dies = geometry.chips_per_channel * geometry.dies_per_chip
+        self.channels: List[FlashChannel] = [
+            FlashChannel(i, dies, timing, engine, transfer_ns)
+            for i in range(geometry.channels)
+        ]
+
+    # -- address arithmetic ----------------------------------------------------
+
+    def channel_of(self, ppa: int) -> int:
+        return ppa // self.geometry.pages_per_channel
+
+    def block_of(self, ppa: int) -> int:
+        """Global block index of a physical page."""
+        return ppa // self.geometry.pages_per_block
+
+    def page_in_block(self, ppa: int) -> int:
+        return ppa % self.geometry.pages_per_block
+
+    def first_ppa_of_block(self, block: int) -> int:
+        return block * self.geometry.pages_per_block
+
+    def channel_of_block(self, block: int) -> int:
+        return block // self.geometry.blocks_per_channel
+
+    # -- timed operations --------------------------------------------------------
+
+    def read_page(
+        self, ppa: int, now: float, on_done: Optional[Callable[[], None]] = None
+    ) -> float:
+        """Submit a page read; returns its completion time."""
+        self._check_ppa(ppa)
+        if self._stats.enabled:
+            self._stats.flash_page_reads += 1
+        channel = self.channels[self.channel_of(ppa)]
+        done = channel.submit_read(now, on_done)
+        self._stats.record_flash_read(done - now)
+        return done
+
+    def program_page(
+        self, ppa: int, now: float, on_done: Optional[Callable[[], None]] = None
+    ) -> float:
+        """Submit a page program; returns its completion time."""
+        self._check_ppa(ppa)
+        if self._stats.enabled:
+            self._stats.flash_page_writes += 1
+        channel = self.channels[self.channel_of(ppa)]
+        return channel.submit_program(now, on_done)
+
+    def erase_block(
+        self, block: int, now: float, on_done: Optional[Callable[[], None]] = None
+    ) -> float:
+        """Submit a block erase; returns its completion time."""
+        if not 0 <= block < self.geometry.total_blocks:
+            raise ValueError(f"block {block} out of range")
+        if self._stats.enabled:
+            self._stats.flash_block_erases += 1
+        channel = self.channels[self.channel_of_block(block)]
+        return channel.submit_erase(now, on_done)
+
+    def estimate_read_ns(self, ppa: int) -> float:
+        """Algorithm 1's latency estimate for a new read of ``ppa``."""
+        return self.channels[self.channel_of(ppa)].estimate_read_ns()
+
+    def least_loaded_channel(self, now: float) -> int:
+        """Channel where a new command would start earliest (used to
+        stripe compaction writes, §III-B)."""
+        best = min(self.channels, key=lambda c: c.free_at)
+        return best.index
+
+    def _check_ppa(self, ppa: int) -> None:
+        if not 0 <= ppa < self.geometry.total_pages:
+            raise ValueError(f"ppa {ppa} out of range")

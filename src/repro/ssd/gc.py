@@ -1,0 +1,120 @@
+"""Garbage collection.
+
+Greedy, channel-local GC as in SimpleSSD-style firmware models: when a
+channel's free-block pool drops to a reserve, pick the FULL blocks with the
+fewest valid pages, relocate their live pages (a flash read plus a program
+each), then erase.  All operations are submitted to the channel's FIFO
+queue, so in-flight and subsequent host requests on that channel queue up
+behind the GC -- exactly the multi-millisecond blocking behaviour the paper
+identifies as a main source of tail latency (§II-C) and that Algorithm 1's
+queue-sum estimator accounts for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SSDConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import SimStats
+from repro.ssd.flash import FlashArray
+from repro.ssd.ftl import PageFTL
+
+
+class GarbageCollector:
+    """Channel-local greedy garbage collector."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        ftl: PageFTL,
+        flash: FlashArray,
+        engine: Engine,
+        stats: SimStats,
+    ) -> None:
+        self._config = config
+        self._ftl = ftl
+        self._flash = flash
+        self._engine = engine
+        self._stats = stats
+        blocks_per_channel = config.geometry.blocks_per_channel
+        #: Free-block floor that triggers a GC campaign: a small fraction
+        #: of the 20% slack the 80% utilisation threshold (Table II)
+        #: leaves.  Preconditioning fills the device to just above this.
+        self.reserve_blocks = max(
+            2, int(blocks_per_channel * (1.0 - config.gc_threshold) * 0.15)
+        )
+        #: Blocks to free per campaign.  Campaigns are deliberately small
+        #: so each lasts the "few milliseconds" the paper attributes to a
+        #: GC (§II-C): one block's worth of moves plus its erase.
+        self.blocks_per_campaign = max(
+            1, int(blocks_per_channel * config.gc_free_fraction)
+        )
+        self._active = [False] * config.geometry.channels
+        self._in_emergency = False
+        # Emergency reclamation when an allocation finds the channel dry:
+        # run a campaign immediately, regardless of any in-flight one
+        # (block metadata is released at submission, so the retry works).
+        ftl.on_out_of_space = self._emergency_collect
+
+    def needs_collection(self, channel: int) -> bool:
+        return (
+            self._ftl.free_blocks_in_channel(channel) <= self.reserve_blocks
+            and not self._active[channel]
+        )
+
+    def is_active(self, channel: int) -> bool:
+        """Whether a GC campaign currently occupies ``channel``."""
+        return self._active[channel]
+
+    def _emergency_collect(self, channel: int) -> None:
+        """Reentrancy-guarded campaign for allocation-time starvation
+        (GC relocations themselves allocate, so guard against recursion)."""
+        if self._in_emergency:
+            return
+        self._in_emergency = True
+        try:
+            self.collect(channel, self._engine.now)
+        finally:
+            self._in_emergency = False
+
+    def maybe_collect(self, channel: int, now: float) -> Optional[float]:
+        """Run a campaign if the channel is below reserve.
+
+        Returns the campaign completion time, or None if no GC was needed.
+        The FTL metadata is updated immediately (the moved pages' new
+        locations are visible to subsequent translations); the *time* cost
+        is paid through the channel queue.
+        """
+        if not self.needs_collection(channel):
+            return None
+        return self.collect(channel, now)
+
+    def collect(self, channel: int, now: float) -> float:
+        """Unconditionally run one campaign on ``channel``."""
+        self._active[channel] = True
+        if self._stats.enabled:
+            self._stats.gc_invocations += 1
+        completion = now
+        freed = 0
+        while freed < self.blocks_per_campaign:
+            victim = self._ftl.select_victim(channel)
+            if victim is None:
+                break
+            # Relocate live pages within the channel: read + program each.
+            for lpa in list(victim.live.values()):
+                old_ppa = self._ftl.translate(lpa)
+                completion = self._flash.read_page(old_ppa, now)
+                new_ppa = self._ftl.relocate(lpa, channel)
+                completion = self._flash.program_page(new_ppa, now)
+                if self._stats.enabled:
+                    self._stats.gc_page_moves += 1
+            completion = self._flash.erase_block(victim.index, now)
+            self._ftl.release_block(victim)
+            freed += 1
+
+        def _finish() -> None:
+            self._active[channel] = False
+
+        self._engine.schedule_at(completion, _finish)
+        return completion

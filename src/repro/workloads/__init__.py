@@ -1,0 +1,1 @@
+"""Table I workload models and trace tooling."""

@@ -1,0 +1,83 @@
+"""Trace record format and helpers.
+
+A trace is a sequence of ``(gap, is_write, address)`` records: the thread
+executes ``gap`` non-memory instructions, then issues one 64 B memory
+access at ``address``.  This is the LLC-miss-stream level of detail the
+fast interval model replays (on-chip cache hits are folded into the gap /
+IPC term), the same level at which the paper's Table I characterises its
+workloads via LLC MPKI.
+
+Traces can be saved/loaded as compact ``.npz`` files so experiments are
+reproducible without regeneration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import CACHELINE_SIZE, PAGE_SIZE
+
+TraceRecord = Tuple[int, bool, int]
+
+
+def make_trace(
+    gaps: np.ndarray, writes: np.ndarray, addresses: np.ndarray
+) -> List[TraceRecord]:
+    """Zip parallel arrays into the list-of-tuples form the cores replay."""
+    if not (len(gaps) == len(writes) == len(addresses)):
+        raise ValueError("trace arrays must have equal length")
+    return list(zip(gaps.tolist(), [bool(w) for w in writes], addresses.tolist()))
+
+
+def trace_instructions(trace: Sequence[TraceRecord]) -> int:
+    """Total instruction count a trace represents (gaps + 1 memory op each)."""
+    return sum(r[0] for r in trace) + len(trace)
+
+
+def trace_footprint_pages(trace: Sequence[TraceRecord]) -> int:
+    """Number of distinct 4 KB pages the trace touches."""
+    return len({r[2] // PAGE_SIZE for r in trace})
+
+
+def trace_write_ratio(trace: Sequence[TraceRecord]) -> float:
+    if not trace:
+        return 0.0
+    return sum(1 for r in trace if r[1]) / len(trace)
+
+
+def trace_mpki(trace: Sequence[TraceRecord]) -> float:
+    """Memory accesses per kilo-instruction (the trace-level analogue of
+    Table I's LLC MPKI)."""
+    instructions = trace_instructions(trace)
+    if instructions == 0:
+        return 0.0
+    return 1000.0 * len(trace) / instructions
+
+
+def save_traces(path: str, traces: Sequence[Sequence[TraceRecord]]) -> None:
+    """Persist per-thread traces to one compressed .npz file."""
+    arrays = {}
+    for i, trace in enumerate(traces):
+        arr = np.array(trace, dtype=np.int64)
+        arrays[f"thread_{i}"] = arr
+    np.savez_compressed(path, **arrays)
+
+
+def load_traces(path: str) -> List[List[TraceRecord]]:
+    """Inverse of :func:`save_traces`."""
+    data = np.load(path)
+    traces = []
+    for key in sorted(data.files, key=lambda k: int(k.split("_")[1])):
+        arr = data[key]
+        traces.append([(int(g), bool(w), int(a)) for g, w, a in arr])
+    return traces
+
+
+def line_address(address: int) -> int:
+    return address // CACHELINE_SIZE
+
+
+def page_of(address: int) -> int:
+    return address // PAGE_SIZE

@@ -1,0 +1,124 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, lambda: order.append("c"))
+    engine.schedule(10, lambda: order.append("a"))
+    engine.schedule(20, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_fifo():
+    engine = Engine()
+    order = []
+    for i in range(10):
+        engine.schedule(5.0, lambda i=i: order.append(i))
+    engine.run()
+    assert order == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(42.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [42.5]
+    assert engine.now == 42.5
+
+
+def test_negative_delay_clamped_to_now():
+    engine = Engine()
+    engine.schedule(10, lambda: engine.schedule(-5, lambda: None))
+    end = engine.run()
+    assert end == 10
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(100.0, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [100.0]
+
+
+def test_run_until_stops_at_boundary():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(1))
+    engine.schedule(50, lambda: fired.append(2))
+    engine.run(until=20)
+    assert fired == [1]
+    assert engine.now == 20
+    assert engine.pending() == 1
+
+
+def test_run_resumes_after_until():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(1))
+    engine.schedule(50, lambda: fired.append(2))
+    engine.run(until=20)
+    engine.run()
+    assert fired == [1, 2]
+
+
+def test_stop_halts_processing():
+    engine = Engine()
+    fired = []
+
+    def first():
+        fired.append(1)
+        engine.stop()
+
+    engine.schedule(1, first)
+    engine.schedule(2, lambda: fired.append(2))
+    engine.run()
+    assert fired == [1]
+    assert engine.pending() == 1
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    order = []
+
+    def outer():
+        order.append("outer")
+        engine.schedule(5, lambda: order.append("inner"))
+
+    engine.schedule(1, outer)
+    engine.run()
+    assert order == ["outer", "inner"]
+    assert engine.now == 6
+
+
+def test_peek_returns_next_event_time():
+    engine = Engine()
+    assert engine.peek() is None
+    engine.schedule(7, lambda: None)
+    engine.schedule(3, lambda: None)
+    assert engine.peek() == 3
+
+
+def test_empty_run_returns_current_time():
+    engine = Engine()
+    assert engine.run() == 0.0
+
+
+def test_determinism_across_instances():
+    def build():
+        engine = Engine()
+        log = []
+        engine.schedule(2, lambda: log.append("x"))
+        engine.schedule(2, lambda: log.append("y"))
+        engine.schedule(1, lambda: engine.schedule(1, lambda: log.append("z")))
+        engine.run()
+        return log
+
+    assert build() == build()

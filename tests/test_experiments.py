@@ -1,0 +1,169 @@
+"""Smoke tests for the per-figure experiment drivers (tiny traces)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    persistence_interval_sweep,
+    prefetch_ablation,
+    promotion_threshold_sweep,
+)
+from repro.experiments.cost import CostModel, cost_effectiveness
+from repro.experiments.design import fig9_threshold_sweep, fig10_scheduling_policies
+from repro.experiments.migration_study import fig23_migration_mechanisms
+from repro.experiments.motivation import (
+    fig2_dram_vs_cssd,
+    fig3_latency_distribution,
+    fig4_boundedness,
+    fig5_read_locality,
+    fig6_write_locality,
+)
+from repro.experiments.overall import (
+    fig14_overall,
+    fig15_thread_scaling,
+    fig16_request_breakdown,
+    fig17_amat,
+    fig18_write_traffic,
+    table3_flash_read_latency,
+)
+from repro.experiments.sensitivity import (
+    fig19_log_size_performance,
+    fig20_log_size_traffic,
+    fig21_dram_size,
+    fig22_flash_latency,
+)
+
+R = 400  # tiny traces: these tests check plumbing, not magnitudes
+ONE = ["bc"]
+
+
+def test_fig2_driver():
+    rows = fig2_dram_vs_cssd(workloads=ONE, records=R)
+    assert rows["bc"]["slowdown"] > 1.0
+
+
+def test_fig3_driver():
+    rows = fig3_latency_distribution(workloads=ONE, records=R)
+    assert rows["bc"]["CXL-SSD"]["max_ns"] > rows["bc"]["DRAM"]["max_ns"]
+
+
+def test_fig4_driver():
+    rows = fig4_boundedness(workloads=ONE, records=R)
+    assert 0.0 < rows["bc"]["cssd_memory_bound"] <= 1.0
+
+
+def test_fig5_and_fig6_drivers():
+    reads = fig5_read_locality(workloads=ONE, ratios=(8,), records=R * 4)
+    writes = fig6_write_locality(workloads=ONE, ratios=(8,), records=R * 4)
+    assert 0.0 <= reads["bc"][8]["mean_ratio"] <= 1.0
+    assert 0.0 <= writes["bc"][8]["mean_ratio"] <= 1.0
+
+
+def test_fig9_driver():
+    rows = fig9_threshold_sweep(workloads=ONE, thresholds_us=(2, 40), records=R)
+    assert rows["bc"][2] == 1.0
+    assert rows["bc"][40] > 0.0
+
+
+def test_fig10_driver():
+    rows = fig10_scheduling_policies(workloads=ONE, records=R)
+    assert set(rows["bc"]) == {"RR", "RANDOM", "FAIRNESS"}
+    assert rows["bc"]["RR"]["normalized_time"] == 1.0
+
+
+def test_fig14_driver():
+    rows = fig14_overall(workloads=ONE, variants=["Base-CSSD", "DRAM-Only"],
+                         records=R)
+    assert rows["bc"]["Base-CSSD"] == 1.0
+    assert rows["bc"]["DRAM-Only"] < 1.0
+
+
+def test_fig15_driver():
+    rows = fig15_thread_scaling(workloads=ONE, thread_counts=(8, 16), records=R)
+    assert set(rows["bc"]) == {8, 16}
+
+
+def test_fig16_driver():
+    rows = fig16_request_breakdown(workloads=ONE, records=R)
+    assert sum(rows["bc"].values()) == pytest.approx(1.0)
+
+
+def test_fig17_driver():
+    rows = fig17_amat(workloads=ONE, variants=["Base-CSSD", "DRAM-Only"],
+                      records=R)
+    assert rows["bc"]["Base-CSSD"]["amat_ns"] > rows["bc"]["DRAM-Only"]["amat_ns"]
+
+
+def test_fig18_driver():
+    rows = fig18_write_traffic(workloads=ONE,
+                               variants=["Base-CSSD", "SkyByte-W"], records=R)
+    assert rows["bc"]["Base-CSSD"] == 1.0
+
+
+def test_fig19_fig20_drivers():
+    sizes = (16 * 1024, 128 * 1024)
+    perf = fig19_log_size_performance(workloads=ONE, log_sizes=sizes, records=R)
+    traffic = fig20_log_size_traffic(workloads=ONE, log_sizes=sizes, records=R)
+    assert set(perf["bc"]) == set(sizes)
+    assert traffic["bc"][16 * 1024] == 1.0
+
+
+def test_fig21_driver():
+    rows = fig21_dram_size(
+        workloads=ONE, dram_sizes=(512 * 1024, 1024 * 1024),
+        variants=["Base-CSSD", "SkyByte-Full"], records=R,
+    )
+    assert set(rows["bc"]["SkyByte-Full"]) == {512 * 1024, 1024 * 1024}
+
+
+def test_fig22_driver():
+    rows = fig22_flash_latency(
+        workloads=ONE, timings=("ULL", "MLC"), variants=["SkyByte-WP"],
+        thread_counts=(16,), records=R,
+    )
+    assert "SkyByte-Full-16" in rows["bc"]["ULL"]
+    assert rows["bc"]["MLC"]["SkyByte-WP"] > 0
+
+
+def test_fig23_driver():
+    rows = fig23_migration_mechanisms(
+        workloads=ONE, variants=["SkyByte-C", "SkyByte-CP"], records=R
+    )
+    assert rows["bc"]["SkyByte-C"] == 1.0
+
+
+def test_table3_driver():
+    rows = table3_flash_read_latency(workloads=ONE, records=R)
+    assert rows["bc"] >= 3.0  # at least the ULL device read latency
+
+
+def test_cost_driver():
+    out = cost_effectiveness(workloads=ONE, records=R)
+    assert out["cost_ratio"] == pytest.approx(
+        CostModel().cost_ratio
+    )
+    assert 0.0 < out["performance_fraction_geomean"] < 1.0
+
+
+def test_cost_model_arithmetic():
+    model = CostModel()
+    # Paper: $4.28/GB DRAM vs $0.27/GB flash => ~15.9x cheaper.
+    assert model.cost_ratio == pytest.approx(15.9, rel=0.05)
+    # The whole-setup ratio (with the 2 GB host budget) is a bit lower.
+    assert model.setup_cost_ratio < model.cost_ratio
+    assert model.setup_cost_ratio > 10.0
+
+
+class TestAblations:
+    def test_prefetch_helps_streaming(self):
+        rows = prefetch_ablation(workloads=("srad",), records=600)
+        assert rows["srad"]["prefetch_gain"] > 0.95
+
+    def test_promotion_threshold_tradeoff(self):
+        rows = promotion_threshold_sweep(thresholds=(8, 256), records=600)
+        # A permissive threshold promotes more pages.
+        assert rows[8]["pages_promoted"] >= rows[256]["pages_promoted"]
+
+    def test_persistence_interval_traffic(self):
+        rows = persistence_interval_sweep(intervals_us=(50, 0), records=600)
+        # Disabling durability flushes can only reduce flash writes.
+        assert rows[0]["flash_writes_per_Mi"] <= rows[50]["flash_writes_per_Mi"]

@@ -1,0 +1,83 @@
+"""Tests for the host page table."""
+
+import pytest
+
+from repro.host.page_table import Location, PageTable
+
+
+def test_default_location_is_cxl():
+    pt = PageTable()
+    assert not pt.is_promoted(5)
+    assert pt.entry(5).location == Location.CXL
+
+
+def test_promote_assigns_frame():
+    pt = PageTable()
+    entry = pt.promote(5)
+    assert entry.location == Location.HOST
+    assert entry.host_frame is not None
+    assert pt.is_promoted(5)
+    assert pt.promoted_count == 1
+
+
+def test_double_promotion_rejected():
+    pt = PageTable()
+    pt.promote(5)
+    with pytest.raises(ValueError):
+        pt.promote(5)
+
+
+def test_demote_returns_dirty_mask():
+    pt = PageTable()
+    pt.promote(5, carried_dirty_mask=0b100)
+    pt.record_host_access(5, 0, True, 10.0)
+    entry, dirty = pt.demote(5)
+    assert dirty == 0b101
+    assert not pt.is_promoted(5)
+    assert pt.promoted_count == 0
+    assert entry.dirty_mask == 0
+
+
+def test_demote_unpromoted_rejected():
+    pt = PageTable()
+    with pytest.raises(ValueError):
+        pt.demote(7)
+
+
+def test_carried_dirty_mask_preserved():
+    """Dirty-versus-flash state dropped by the SSD must survive in the
+    host copy so no write is ever lost across a promotion."""
+    pt = PageTable()
+    pt.promote(3, carried_dirty_mask=0b1010)
+    _, dirty = pt.demote(3)
+    assert dirty == 0b1010
+
+
+def test_coldest_promoted_by_last_access():
+    pt = PageTable()
+    for vpn in (1, 2, 3):
+        pt.promote(vpn)
+    pt.record_host_access(1, 0, False, 300.0)
+    pt.record_host_access(2, 0, False, 100.0)
+    pt.record_host_access(3, 0, False, 200.0)
+    assert pt.coldest_promoted() == 2
+
+
+def test_coldest_none_when_nothing_promoted():
+    pt = PageTable()
+    assert pt.coldest_promoted() is None
+
+
+def test_promoted_pages_iteration():
+    pt = PageTable()
+    pt.promote(1)
+    pt.promote(9)
+    pt.promote(4)
+    pt.demote(9)
+    assert sorted(pt.promoted_pages()) == [1, 4]
+
+
+def test_frames_unique():
+    pt = PageTable()
+    frames = {pt.promote(v).host_frame for v in range(10)}
+    assert len(frames) == 10

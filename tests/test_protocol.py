@@ -1,0 +1,78 @@
+"""Tests for the CXL.mem protocol model (Fig. 8 wire contract)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cxl.protocol import (
+    M2SOpcode,
+    MemRequest,
+    MemResponse,
+    NDROpcode,
+    TAG_SPACE,
+    decode_ndr,
+    encode_ndr,
+    next_tag,
+)
+
+
+def test_skybyte_delay_uses_reserved_encoding():
+    # Fig. 8: SkyByte claims the reserved 111b NDR opcode.
+    assert NDROpcode.SKYBYTE_DELAY == 0b111
+
+
+def test_standard_ndr_encodings_match_fig8():
+    assert NDROpcode.CMP == 0b000
+    assert NDROpcode.CMP_S == 0b001
+    assert NDROpcode.CMP_E == 0b010
+    assert NDROpcode.BI_CONFLICT_ACK == 0b100
+
+
+def test_encode_decode_roundtrip():
+    header = encode_ndr(True, NDROpcode.SKYBYTE_DELAY, tag=0xBEEF)
+    valid, opcode, tag = decode_ndr(header)
+    assert valid is True
+    assert opcode is NDROpcode.SKYBYTE_DELAY
+    assert tag == 0xBEEF
+
+
+def test_encode_rejects_oversized_tag():
+    with pytest.raises(ValueError):
+        encode_ndr(True, NDROpcode.CMP, tag=TAG_SPACE)
+
+
+@given(
+    st.booleans(),
+    st.sampled_from(list(NDROpcode)),
+    st.integers(min_value=0, max_value=TAG_SPACE - 1),
+)
+def test_roundtrip_property(valid, opcode, tag):
+    assert decode_ndr(encode_ndr(valid, opcode, tag)) == (valid, opcode, tag)
+
+
+def test_tags_wrap_at_16_bits():
+    first = next_tag()
+    for _ in range(10):
+        t = next_tag()
+        assert 0 <= t < TAG_SPACE
+
+
+def test_mem_request_address_arithmetic():
+    # Page 3, line 5 within the page.
+    address = 3 * 4096 + 5 * 64
+    req = MemRequest(opcode=M2SOpcode.MEM_RD, address=address)
+    assert req.page == 3
+    assert req.line_offset == 5
+    assert req.line_address == address // 64
+    assert not req.is_write
+
+
+def test_mem_request_write_flag():
+    req = MemRequest(opcode=M2SOpcode.MEM_WR, address=0)
+    assert req.is_write
+
+
+def test_delay_hint_response():
+    resp = MemResponse(tag=1, has_data=False, ndr_opcode=NDROpcode.SKYBYTE_DELAY)
+    assert resp.is_delay_hint
+    resp2 = MemResponse(tag=1, has_data=False, ndr_opcode=NDROpcode.CMP)
+    assert not resp2.is_delay_hint

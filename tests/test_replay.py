@@ -1,0 +1,68 @@
+"""Tests for detailed-mode trace filtering (raw refs -> LLC misses)."""
+
+import pytest
+
+from repro.config import CPUConfig
+from repro.cpu.replay import filter_threads, filter_trace
+
+
+def repeated_trace(lines, repeats, gap=3):
+    trace = []
+    for _ in range(repeats):
+        for line in lines:
+            trace.append((gap, False, line * 64))
+    return trace
+
+
+def test_first_touch_misses_then_hits():
+    trace = repeated_trace(range(10), repeats=3)
+    result = filter_trace(trace)
+    assert len(result.miss_trace) == 10  # compulsory misses only
+    assert result.hits["L1"] == 20
+
+
+def test_gaps_fold_into_next_miss():
+    # hit, hit, miss: the miss's gap carries all three gaps.
+    trace = [(5, False, 0), (7, False, 0), (9, False, 64 * 1000)]
+    result = filter_trace(trace)
+    # First access misses (gap 5), then one hit, then second miss with
+    # folded gap 7+9.
+    assert result.miss_trace[0] == (5, False, 0)
+    assert result.miss_trace[1] == (16, False, 64 * 1000)
+
+
+def test_miss_rate_and_mpki():
+    trace = repeated_trace(range(4), repeats=5, gap=10)
+    result = filter_trace(trace)
+    assert result.miss_rate == pytest.approx(4 / 20)
+    assert result.llc_mpki > 0
+
+
+def test_capacity_misses_beyond_l3():
+    # Stream far more lines than the 16MB L3 holds.
+    lines = 300_000
+    trace = [(1, False, i * 64) for i in range(lines)]
+    result = filter_trace(trace)
+    assert len(result.miss_trace) == lines  # no reuse at all
+
+
+def test_writes_propagate_dirty():
+    trace = [(1, True, 0)]
+    result = filter_trace(trace)
+    assert result.miss_trace[0][1] is True
+
+
+def test_shared_l3_across_threads():
+    """The second thread reuses lines the first brought into the L3."""
+    t0 = repeated_trace(range(50), repeats=1)
+    t1 = repeated_trace(range(50), repeats=1)
+    outputs, results = filter_threads([t0, t1], CPUConfig(cores=2))
+    assert len(outputs[0]) == 50  # cold
+    assert len(outputs[1]) == 0  # all L3 hits
+    assert results[1].hits["L3"] == 50
+
+
+def test_empty_trace():
+    result = filter_trace([])
+    assert result.miss_trace == []
+    assert result.miss_rate == 0.0

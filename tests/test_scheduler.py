@@ -1,0 +1,115 @@
+"""Tests for the OS scheduler policies."""
+
+import pytest
+
+from repro.host.scheduler import Scheduler
+from repro.host.threads import ThreadContext
+
+
+def make_threads(n):
+    return [ThreadContext(i, [(1, False, 0)]) for i in range(n)]
+
+
+class TestRoundRobin:
+    def test_fifo_order(self):
+        s = Scheduler("RR")
+        threads = make_threads(3)
+        for t in threads:
+            s.enqueue(t)
+        assert [s.pick_next().tid for _ in range(3)] == [0, 1, 2]
+
+    def test_prefer_not_skips_yielder(self):
+        s = Scheduler("RR")
+        threads = make_threads(3)
+        for t in threads:
+            s.enqueue(t)
+        picked = s.pick_next(prefer_not=0)
+        assert picked.tid == 1
+
+    def test_yielder_chosen_when_alone(self):
+        s = Scheduler("RR")
+        t = make_threads(1)[0]
+        s.enqueue(t)
+        assert s.pick_next(prefer_not=0).tid == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            s = Scheduler("RANDOM", seed=seed)
+            for t in make_threads(10):
+                s.enqueue(t)
+            return [s.pick_next().tid for _ in range(10)]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)  # overwhelmingly likely
+
+    def test_prefer_not_respected(self):
+        s = Scheduler("RANDOM", seed=3)
+        for t in make_threads(5):
+            s.enqueue(t)
+        for _ in range(5):
+            picked = s.pick_next(prefer_not=2)
+            if picked is None:
+                break
+            assert picked.tid != 2 or s.runnable() == 0
+
+
+class TestFairness:
+    def test_picks_least_runtime(self):
+        s = Scheduler("FAIRNESS")
+        threads = make_threads(3)
+        threads[0].runtime_ns = 100.0
+        threads[1].runtime_ns = 10.0
+        threads[2].runtime_ns = 50.0
+        for t in threads:
+            s.enqueue(t)
+        assert s.pick_next().tid == 1
+
+    def test_cfs_may_repick_yielder(self):
+        """The paper's CFS quirk: a just-yielded thread with the least
+        vruntime is picked again."""
+        s = Scheduler("FAIRNESS")
+        threads = make_threads(2)
+        threads[0].runtime_ns = 5.0
+        threads[1].runtime_ns = 500.0
+        for t in threads:
+            s.enqueue(t)
+        assert s.pick_next(prefer_not=0).tid == 0
+
+    def test_cfs_alias(self):
+        assert Scheduler("CFS").policy == "FAIRNESS"
+
+
+class TestQueueMechanics:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler("LOTTERY")
+
+    def test_done_threads_not_enqueued(self):
+        s = Scheduler("RR")
+        t = ThreadContext(0, [])
+        s.enqueue(t)
+        assert s.runnable() == 0
+
+    def test_empty_queue_returns_none(self):
+        s = Scheduler("RR")
+        assert s.pick_next() is None
+
+    def test_park_and_wake(self):
+        s = Scheduler("RR")
+
+        class FakeCore:
+            woken = False
+
+            def wake(self):
+                self.woken = True
+
+        core = FakeCore()
+        s.park_core(core)
+        s.wake_one_core()  # nothing runnable yet
+        assert not core.woken
+        s.park_core(core)
+        s.enqueue(make_threads(1)[0])
+        s.wake_one_core()
+        assert core.woken

@@ -1,0 +1,181 @@
+"""Tests for statistics collection: histograms, locality, AMAT."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CACHELINES_PER_PAGE
+from repro.sim.stats import (
+    HOST_DRAM,
+    LatencyHistogram,
+    LocalityTracker,
+    REQUEST_CLASSES,
+    SimStats,
+    SSD_READ_HIT,
+    SSD_READ_MISS,
+    SSD_WRITE,
+)
+
+
+class TestLatencyHistogram:
+    def test_mean_and_count(self):
+        h = LatencyHistogram()
+        for v in (100, 200, 300):
+            h.record(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(200.0)
+
+    def test_percentile_brackets_value(self):
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.record(100.0)
+        h.record(1_000_000.0)
+        # p50 should be near 100ns (upper bucket edge), p100 near 1ms.
+        assert h.percentile(50) <= 200.0
+        assert h.percentile(100) >= 1_000_000.0 * 0.7
+
+    def test_fraction_below(self):
+        h = LatencyHistogram()
+        for _ in range(90):
+            h.record(100.0)
+        for _ in range(10):
+            h.record(100_000.0)
+        assert h.fraction_below(300.0) == pytest.approx(0.9)
+        assert h.fraction_below(1e9) == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        h = LatencyHistogram()
+        for v in (10, 100, 1000, 10_000, 100_000):
+            for _ in range(5):
+                h.record(v)
+        cdf = h.cdf()
+        xs = [p[0] for p in cdf]
+        ys = [p[1] for p in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_sub_nanosecond_clamped(self):
+        h = LatencyHistogram()
+        h.record(0.0)
+        assert h.count == 1
+        assert h.min >= 1.0
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e8), min_size=1, max_size=200))
+    def test_percentiles_monotone_property(self, values):
+        h = LatencyHistogram()
+        for v in values:
+            h.record(v)
+        ps = [h.percentile(p) for p in (10, 25, 50, 75, 90, 99, 100)]
+        assert ps == sorted(ps)
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e7), min_size=1, max_size=100))
+    def test_mean_within_range_property(self, values):
+        h = LatencyHistogram()
+        for v in values:
+            h.record(v)
+        assert min(values) * 0.99 <= h.mean <= max(values) * 1.01
+
+
+class TestLocalityTracker:
+    def test_cdf_counts_pages(self):
+        t = LocalityTracker()
+        t.record(1)
+        t.record(1)
+        t.record(64)
+        assert t.count == 3
+        assert t.fraction_of_pages_below(0.4) == pytest.approx(2 / 3)
+
+    def test_mean_ratio(self):
+        t = LocalityTracker()
+        t.record(32)
+        assert t.mean_ratio() == pytest.approx(0.5)
+
+    def test_clamping(self):
+        t = LocalityTracker()
+        t.record(1000)
+        t.record(-5)
+        assert t.count == 2
+        assert t.fraction_of_pages_below(0.0) == pytest.approx(0.5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=64), min_size=1, max_size=300))
+    def test_cdf_reaches_one(self, touches):
+        t = LocalityTracker()
+        for k in touches:
+            t.record(k)
+        cdf = t.cdf()
+        assert cdf[-1][1] == pytest.approx(1.0)
+
+
+class TestSimStats:
+    def test_warmup_gating(self):
+        s = SimStats()
+        s.enabled = False
+        s.add_instructions(100)
+        s.add_compute(5.0)
+        s.count_request(SSD_WRITE)
+        s.record_amat(flash=100.0)
+        assert s.instructions == 0
+        assert s.compute_ns == 0
+        assert s.request_counts[SSD_WRITE] == 0
+        assert s.amat_accesses == 0
+
+    def test_amat_breakdown_sums_to_amat(self):
+        s = SimStats()
+        s.record_amat(host_dram=70.0)
+        s.record_amat(indexing=49.0, ssd_dram=95.0)
+        bd = s.amat_breakdown()
+        assert sum(bd.values()) == pytest.approx(s.amat_ns)
+
+    def test_boundedness_fractions_sum_to_one(self):
+        s = SimStats()
+        s.add_compute(30.0)
+        s.add_memory_stall(60.0)
+        s.add_context_switch(10.0)
+        bd = s.boundedness()
+        assert sum(bd.values()) == pytest.approx(1.0)
+        assert bd["memory"] == pytest.approx(0.6)
+
+    def test_request_breakdown_normalized(self):
+        s = SimStats()
+        for _ in range(3):
+            s.count_request(SSD_READ_HIT)
+        s.count_request(HOST_DRAM)
+        bd = s.request_breakdown()
+        assert sum(bd.values()) == pytest.approx(1.0)
+        assert bd[SSD_READ_HIT] == pytest.approx(0.75)
+        assert set(bd) == set(REQUEST_CLASSES)
+
+    def test_unrecord_reverses_access(self):
+        s = SimStats()
+        s.count_request(SSD_READ_MISS)
+        s.record_amat(indexing=72.0, flash=3000.0, ssd_dram=95.0)
+        s.unrecord_access(
+            SSD_READ_MISS, {"indexing": 72.0, "flash": 3000.0, "ssd_dram": 95.0}
+        )
+        assert s.amat_accesses == 0
+        assert s.request_counts[SSD_READ_MISS] == 0
+        assert s.amat_flash_ns == pytest.approx(0.0)
+
+    def test_write_amplification(self):
+        from repro.config import CACHELINE_SIZE, PAGE_SIZE
+
+        s = SimStats()
+        s.host_lines_written = 64  # one page worth of lines
+        s.flash_page_writes = 4
+        assert s.write_amplification == pytest.approx(4.0)
+
+    def test_throughput_requires_time(self):
+        s = SimStats()
+        s.instructions = 100
+        assert s.throughput_ipns == 0.0
+        s.start_ns, s.end_ns = 0.0, 50.0
+        assert s.throughput_ipns == pytest.approx(2.0)
+
+    def test_summary_keys(self):
+        s = SimStats()
+        summary = s.summary()
+        for key in ("execution_ns", "amat_ns", "write_amplification",
+                    "memory_bound_frac", "flash_page_writes"):
+            assert key in summary

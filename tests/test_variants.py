@@ -1,0 +1,79 @@
+"""Tests for the design-variant registry."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.variants import (
+    MAIN_VARIANTS,
+    MIGRATION_VARIANTS,
+    VARIANTS,
+    get_variant,
+)
+
+
+def test_all_paper_designs_registered():
+    for name in (
+        "Base-CSSD", "SkyByte-P", "SkyByte-C", "SkyByte-W", "SkyByte-CP",
+        "SkyByte-WP", "SkyByte-Full", "DRAM-Only", "SkyByte-CT",
+        "SkyByte-WCT", "AstriFlash-CXL",
+    ):
+        assert name in VARIANTS
+
+
+def test_main_variants_order_matches_fig14():
+    assert MAIN_VARIANTS[0] == "Base-CSSD"
+    assert MAIN_VARIANTS[-1] == "DRAM-Only"
+    assert "SkyByte-Full" in MAIN_VARIANTS
+
+
+def test_migration_variants_match_fig23():
+    assert MIGRATION_VARIANTS[0] == "SkyByte-C"
+    assert "AstriFlash-CXL" in MIGRATION_VARIANTS
+    assert "SkyByte-CT" in MIGRATION_VARIANTS
+
+
+def test_mechanism_matrix():
+    full = get_variant("SkyByte-Full")
+    assert full.write_log and full.promotion and full.ctx_switch
+    base = get_variant("Base-CSSD")
+    assert not (base.write_log or base.promotion or base.ctx_switch)
+    w = get_variant("SkyByte-W")
+    assert w.write_log and not w.promotion and not w.ctx_switch
+    cp = get_variant("SkyByte-CP")
+    assert cp.promotion and cp.ctx_switch and not cp.write_log
+
+
+def test_tpp_variants_use_tpp_mechanism():
+    assert get_variant("SkyByte-CT").migration_mechanism == "tpp"
+    assert get_variant("SkyByte-WCT").migration_mechanism == "tpp"
+    assert get_variant("SkyByte-CP").migration_mechanism == "skybyte"
+
+
+def test_apply_sets_artifact_knobs():
+    config = get_variant("SkyByte-Full").apply(scaled_config())
+    assert config.skybyte.write_log_enable
+    assert config.skybyte.promotion_enable
+    assert config.skybyte.device_triggered_ctx_swt
+    config = get_variant("DRAM-Only").apply(scaled_config())
+    assert config.dram_only
+
+
+def test_apply_clears_mechanism_without_promotion():
+    config = get_variant("SkyByte-C").apply(scaled_config())
+    assert config.skybyte.migration_mechanism == "none"
+
+
+def test_default_threads_rule():
+    """Paper: 24 threads on 8 cores with context switching, 8 otherwise."""
+    cores = 8
+    assert get_variant("SkyByte-Full").default_threads(cores) == 24
+    assert get_variant("SkyByte-C").default_threads(cores) == 24
+    assert get_variant("AstriFlash-CXL").default_threads(cores) == 24
+    assert get_variant("Base-CSSD").default_threads(cores) == 8
+    assert get_variant("SkyByte-WP").default_threads(cores) == 8
+    assert get_variant("DRAM-Only").default_threads(cores) == 8
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(KeyError):
+        get_variant("SkyByte-X")

@@ -1,0 +1,123 @@
+"""Tests for the Table I workload models and trace generation."""
+
+import pytest
+
+from repro.config import CACHELINES_PER_PAGE, GB, PAGE_SIZE
+from repro.workloads.models import WorkloadModel, WorkloadSpec
+from repro.workloads.suites import TABLE_I, WORKLOAD_NAMES, get_model, get_spec
+from repro.workloads.trace import (
+    trace_footprint_pages,
+    trace_instructions,
+    trace_mpki,
+    trace_write_ratio,
+)
+
+#: Table I ground truth: (footprint GB, write ratio, MPKI).
+TABLE_I_EXPECTED = {
+    "bfs-dense": (9.13, 0.25, 122.9),
+    "bc": (8.18, 0.11, 39.4),
+    "radix": (9.60, 0.29, 7.1),
+    "srad": (8.16, 0.24, 7.5),
+    "ycsb": (9.61, 0.05, 92.2),
+    "tpcc": (15.77, 0.36, 1.0),
+    "dlrm": (12.35, 0.32, 5.1),
+}
+
+
+class TestTableI:
+    def test_all_seven_workloads_present(self):
+        assert set(TABLE_I) == set(TABLE_I_EXPECTED)
+        assert sorted(WORKLOAD_NAMES) == sorted(TABLE_I)
+
+    @pytest.mark.parametrize("name", sorted(TABLE_I_EXPECTED))
+    def test_spec_matches_table(self, name):
+        gbs, ratio, mpki = TABLE_I_EXPECTED[name]
+        spec = get_spec(name)
+        assert spec.footprint_bytes == pytest.approx(gbs * GB, rel=0.01)
+        assert spec.write_ratio == pytest.approx(ratio)
+        assert spec.mpki == pytest.approx(mpki)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("spec2017")
+
+    def test_footprint_scaling(self):
+        spec = get_spec("bc")
+        assert spec.footprint_pages(512) == pytest.approx(
+            spec.footprint_bytes / 512 / PAGE_SIZE, rel=0.01
+        )
+
+
+class TestTraceGeneration:
+    def test_deterministic_by_seed(self):
+        a = get_model("bc", seed=7).generate_thread(0, 4, 500)
+        b = get_model("bc", seed=7).generate_thread(0, 4, 500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = get_model("bc", seed=7).generate_thread(0, 4, 500)
+        b = get_model("bc", seed=8).generate_thread(0, 4, 500)
+        assert a != b
+
+    def test_threads_get_distinct_streams(self):
+        model = get_model("bc")
+        t0 = model.generate_thread(0, 4, 300)
+        t1 = model.generate_thread(1, 4, 300)
+        assert t0 != t1
+
+    def test_record_count(self):
+        trace = get_model("ycsb").generate_thread(0, 1, 1000)
+        assert len(trace) == 1000
+
+    def test_addresses_within_footprint(self):
+        model = get_model("tpcc")
+        trace = model.generate_thread(0, 1, 2000)
+        limit = model.pages * PAGE_SIZE
+        assert all(0 <= addr < limit for _, _, addr in trace)
+
+    def test_addresses_cacheline_aligned(self):
+        trace = get_model("bc").generate_thread(0, 1, 500)
+        assert all(addr % 64 == 0 for _, _, addr in trace)
+
+    @pytest.mark.parametrize("name", sorted(TABLE_I_EXPECTED))
+    def test_write_ratio_approximated(self, name):
+        trace = get_model(name).generate_thread(0, 1, 4000)
+        expected = get_spec(name).write_ratio
+        assert trace_write_ratio(trace) == pytest.approx(expected, abs=0.06)
+
+    @pytest.mark.parametrize("name", ["bc", "tpcc", "ycsb"])
+    def test_mpki_approximated(self, name):
+        trace = get_model(name).generate_thread(0, 1, 4000)
+        expected = get_spec(name).mpki
+        assert trace_mpki(trace) == pytest.approx(expected, rel=0.35)
+
+    def test_partitioned_threads_disjoint_reads(self):
+        model = get_model("radix")
+        t0 = model.generate_thread(0, 4, 800)
+        t3 = model.generate_thread(3, 4, 800)
+        # Reads stay in each thread's partition (hot writes are shared).
+        p0 = {a // PAGE_SIZE for _, w, a in t0 if not w}
+        p3 = {a // PAGE_SIZE for _, w, a in t3 if not w}
+        assert not (p0 & p3)
+
+    def test_hot_writes_concentrate(self):
+        """A large share of writes lands on a small shared line set."""
+        model = get_model("tpcc")
+        trace = model.generate_thread(0, 1, 4000)
+        writes = [a for _, w, a in trace if w]
+        distinct = len(set(writes))
+        assert distinct < len(writes) * 0.5
+
+    def test_zipf_skews_page_popularity(self):
+        model = get_model("ycsb")
+        trace = model.generate_thread(0, 1, 6000)
+        from collections import Counter
+
+        counts = Counter(a // PAGE_SIZE for _, _, a in trace)
+        top = sum(c for _, c in counts.most_common(len(counts) // 20))
+        assert top / len(trace) > 0.25  # top 5% of pages >25% of traffic
+
+    def test_generate_returns_per_thread_traces(self):
+        traces = get_model("bc").generate(3, 200)
+        assert len(traces) == 3
+        assert all(len(t) == 200 for t in traces)
