@@ -4,7 +4,7 @@ Paper result: workloads run 1.5x-31.4x worse on the naive CXL-SSD than
 in DRAM, because of flash latency exposed through the byte interface.
 """
 
-from conftest import bench_records, geomean, print_table
+from conftest import bench_cache, bench_jobs, bench_records, geomean, print_table
 
 from repro.experiments.motivation import fig2_dram_vs_cssd
 
@@ -12,7 +12,7 @@ from repro.experiments.motivation import fig2_dram_vs_cssd
 def test_fig02_dram_vs_cssd(benchmark):
     rows = benchmark.pedantic(
         fig2_dram_vs_cssd,
-        kwargs={"records": bench_records()},
+        kwargs={"records": bench_records(), "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

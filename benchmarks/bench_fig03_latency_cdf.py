@@ -5,7 +5,7 @@ DRAM cache, but the tail reaches hundreds of microseconds (flash reads,
 GC) -- orders of magnitude beyond DRAM's tail.
 """
 
-from conftest import bench_records, print_table
+from conftest import bench_cache, bench_jobs, bench_records, print_table
 
 from repro.experiments.motivation import fig3_latency_distribution
 
@@ -13,7 +13,7 @@ from repro.experiments.motivation import fig3_latency_distribution
 def test_fig03_latency_cdf(benchmark):
     rows = benchmark.pedantic(
         fig3_latency_distribution,
-        kwargs={"records": bench_records()},
+        kwargs={"records": bench_records(), "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

@@ -4,7 +4,7 @@ Paper result: memory-bounded cycles grow from 62.9-98.7% (DRAM) to
 77-99.8% (CXL-SSD) -- the device turns everything memory-bound.
 """
 
-from conftest import bench_records, print_table
+from conftest import bench_cache, bench_jobs, bench_records, print_table
 
 from repro.experiments.motivation import fig4_boundedness
 
@@ -12,7 +12,7 @@ from repro.experiments.motivation import fig4_boundedness
 def test_fig04_boundedness(benchmark):
     rows = benchmark.pedantic(
         fig4_boundedness,
-        kwargs={"records": bench_records()},
+        kwargs={"records": bench_records(), "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

@@ -5,7 +5,7 @@ is best; raising it toward 80 us forfeits profitable switches and costs
 up to ~2x on switch-sensitive workloads.
 """
 
-from conftest import bench_records, print_series
+from conftest import bench_cache, bench_jobs, bench_records, print_series
 
 from repro.experiments.design import fig9_threshold_sweep
 
@@ -14,7 +14,7 @@ def test_fig09_threshold(benchmark):
     thresholds = (2, 10, 40, 80)
     rows = benchmark.pedantic(
         fig9_threshold_sweep,
-        kwargs={"records": bench_records(), "thresholds_us": thresholds},
+        kwargs={"records": bench_records(), "thresholds_us": thresholds, "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

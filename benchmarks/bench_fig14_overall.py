@@ -7,7 +7,7 @@ this reproduction's scale the ordering and direction hold with smaller
 magnitudes (see EXPERIMENTS.md).
 """
 
-from conftest import bench_records, geomean, print_table
+from conftest import bench_cache, bench_jobs, bench_records, geomean, print_table
 
 from repro.experiments.overall import fig14_overall
 from repro.variants import MAIN_VARIANTS
@@ -19,7 +19,7 @@ def test_fig14_overall(benchmark):
     records = max(bench_records(), 3000)
     rows = benchmark.pedantic(
         fig14_overall,
-        kwargs={"records": records},
+        kwargs={"records": records, "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

@@ -5,7 +5,7 @@ DRAM hits (S-R-H) dominate the remaining reads, flash-bound misses
 (S-R-M) are a small minority, and writes (S-W) all land in the log.
 """
 
-from conftest import bench_records, print_table
+from conftest import bench_cache, bench_jobs, bench_records, print_table
 
 from repro.experiments.overall import fig16_request_breakdown
 
@@ -13,7 +13,7 @@ from repro.experiments.overall import fig16_request_breakdown
 def test_fig16_breakdown(benchmark):
     rows = benchmark.pedantic(
         fig16_request_breakdown,
-        kwargs={"records": bench_records()},
+        kwargs={"records": bench_records(), "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

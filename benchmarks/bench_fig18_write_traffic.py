@@ -6,7 +6,7 @@ The context switch can add a little traffic back (more concurrent
 threads, more compactions), visible as Full >= WP.
 """
 
-from conftest import bench_records, geomean, print_table
+from conftest import bench_cache, bench_jobs, bench_records, geomean, print_table
 
 from repro.experiments.overall import fig18_write_traffic
 
@@ -14,7 +14,7 @@ from repro.experiments.overall import fig18_write_traffic
 def test_fig18_write_traffic(benchmark):
     rows = benchmark.pedantic(
         fig18_write_traffic,
-        kwargs={"records": bench_records()},
+        kwargs={"records": bench_records(), "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

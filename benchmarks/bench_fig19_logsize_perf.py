@@ -5,7 +5,7 @@ sufficient coalescing window for most workloads; going smaller hurts
 write-heavy / high-locality workloads (srad, tpcc).
 """
 
-from conftest import bench_records, print_series
+from conftest import bench_cache, bench_jobs, bench_records, print_series
 
 from repro.config import KB
 from repro.experiments.sensitivity import fig19_log_size_performance
@@ -16,6 +16,8 @@ def test_fig19_logsize_perf(benchmark):
     rows = benchmark.pedantic(
         fig19_log_size_performance,
         kwargs={
+            "jobs": bench_jobs(),
+            "cache": bench_cache(),
             "records": bench_records(),
             "workloads": ["bc", "srad", "tpcc"],
             "log_sizes": sizes,

@@ -5,7 +5,7 @@ so traffic falls steeply with log size -- especially for workloads with
 strong temporal write locality (srad, tpcc).
 """
 
-from conftest import bench_records, print_series
+from conftest import bench_cache, bench_jobs, bench_records, print_series
 
 from repro.config import KB
 from repro.experiments.sensitivity import fig20_log_size_traffic
@@ -16,6 +16,8 @@ def test_fig20_logsize_traffic(benchmark):
     rows = benchmark.pedantic(
         fig20_log_size_traffic,
         kwargs={
+            "jobs": bench_jobs(),
+            "cache": bench_cache(),
             "records": bench_records(),
             "workloads": ["bc", "srad", "tpcc"],
             "log_sizes": sizes,

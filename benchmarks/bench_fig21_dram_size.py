@@ -5,7 +5,7 @@ SkyByte device with a small DRAM matches or beats Base-CSSD with a much
 larger one -- the cost argument for the CXL-aware organisation.
 """
 
-from conftest import bench_records, print_series
+from conftest import bench_cache, bench_jobs, bench_records, print_series
 
 from repro.config import KB
 from repro.experiments.sensitivity import fig21_dram_size
@@ -16,6 +16,8 @@ def test_fig21_dram_size(benchmark):
     rows = benchmark.pedantic(
         fig21_dram_size,
         kwargs={
+            "jobs": bench_jobs(),
+            "cache": bench_cache(),
             "records": bench_records(),
             "workloads": ["bc", "tpcc"],
             "dram_sizes": sizes,

@@ -6,7 +6,7 @@ scaling with threads -- making cheap commodity NAND viable for
 parallelizable applications.
 """
 
-from conftest import bench_records, print_series
+from conftest import bench_cache, bench_jobs, bench_records, print_series
 
 from repro.experiments.sensitivity import fig22_flash_latency
 
@@ -15,6 +15,8 @@ def test_fig22_flash_latency(benchmark):
     rows = benchmark.pedantic(
         fig22_flash_latency,
         kwargs={
+            "jobs": bench_jobs(),
+            "cache": bench_cache(),
             "records": bench_records(),
             "workloads": ["bc", "srad", "tpcc"],
             "timings": ("ULL", "SLC", "MLC"),

@@ -7,7 +7,7 @@ set-associative on-demand paging) by ~1.09x; SkyByte-WCT shows the write
 log also composes with TPP; SkyByte-Full is best overall.
 """
 
-from conftest import bench_records, geomean, print_table
+from conftest import bench_cache, bench_jobs, bench_records, geomean, print_table
 
 from repro.experiments.migration_study import fig23_migration_mechanisms
 
@@ -15,7 +15,7 @@ from repro.experiments.migration_study import fig23_migration_mechanisms
 def test_fig23_migration(benchmark):
     rows = benchmark.pedantic(
         fig23_migration_mechanisms,
-        kwargs={"records": bench_records()},
+        kwargs={"records": bench_records(), "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

@@ -6,7 +6,7 @@ near the 3 us device latency while queueing and compaction interference
 push others several times higher.
 """
 
-from conftest import bench_records, print_table
+from conftest import bench_cache, bench_jobs, bench_records, print_table
 
 from repro.experiments.overall import table3_flash_read_latency
 
@@ -19,7 +19,7 @@ PAPER_US = {
 def test_tab03_flash_read_latency(benchmark):
     rows = benchmark.pedantic(
         table3_flash_read_latency,
-        kwargs={"records": bench_records()},
+        kwargs={"records": bench_records(), "jobs": bench_jobs(), "cache": bench_cache()},
         rounds=1,
         iterations=1,
     )

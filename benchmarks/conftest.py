@@ -4,14 +4,34 @@ Every benchmark regenerates one table or figure of the paper's
 evaluation.  Trace length per thread is controlled by REPRO_BENCH_RECORDS
 (default 1500) so the full suite stays laptop-friendly; raise it for
 higher-fidelity numbers.
+
+All drivers submit their cells through the experiment orchestrator:
+REPRO_BENCH_JOBS sets the worker-process count (default 1 so timing
+numbers stay comparable across machines) and REPRO_BENCH_CACHE=1 turns
+on the on-disk result cache, which makes re-running a figure with
+unchanged parameters near-instant.
 """
 
 import os
-from typing import Dict, Mapping
+from typing import Mapping
 
 
 def bench_records() -> int:
     return int(os.environ.get("REPRO_BENCH_RECORDS", "1500"))
+
+
+def bench_jobs() -> int:
+    """Worker processes per sweep (REPRO_BENCH_JOBS, default serial)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def bench_cache():
+    """Cache argument for the experiment drivers: enabled only when
+    REPRO_BENCH_CACHE is truthy (cached timings measure the cache, not
+    the simulator, so opt in deliberately)."""
+    return os.environ.get("REPRO_BENCH_CACHE", "").lower() in {
+        "1", "true", "yes", "on"
+    }
 
 
 def print_table(title: str, rows: Mapping[str, Mapping[str, object]]) -> None:

@@ -34,6 +34,13 @@ from repro.config import (
     paper_config,
     scaled_config,
 )
+from repro.experiments.orchestrator import (
+    ResultCache,
+    SweepJob,
+    run_pairs,
+    run_sweep,
+    sweep_product,
+)
 from repro.experiments.runner import RunResult, build_config, run_workload
 from repro.sim.stats import SimStats
 from repro.sim.system import System, run_system
@@ -69,9 +76,14 @@ __all__ = [
     "SkyByteConfig",
     "paper_config",
     "scaled_config",
+    "ResultCache",
     "RunResult",
+    "SweepJob",
     "build_config",
+    "run_pairs",
+    "run_sweep",
     "run_workload",
+    "sweep_product",
     "SimStats",
     "System",
     "run_system",

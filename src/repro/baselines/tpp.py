@@ -17,7 +17,7 @@ truly hot pages and promotes merely lukewarm ones.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Set
+from typing import List, Set
 
 
 class TPPHotnessPolicy:

@@ -1,0 +1,339 @@
+"""Unified command line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+===========
+
+``run``
+    Simulate one (workload, variant) cell and print its headline stats.
+``sweep``
+    Run a workload x variant grid through the parallel orchestrator
+    (``--jobs N`` worker processes, on-disk result cache) and write the
+    per-run stats as JSON.
+``figures``
+    Regenerate the paper's evaluation figures/tables (fig2..fig23,
+    table3, cost) through the shared pool, one JSON file per figure.
+``cache``
+    Inspect (``stats``), locate (``path``) or empty (``clear``) the
+    result cache.
+
+Trace length per thread follows ``REPRO_RECORDS`` unless ``--records``
+is given; ``REPRO_JOBS`` sets the default worker count; the cache lives
+in ``.repro_cache/`` (``REPRO_CACHE_DIR`` or ``--cache-dir`` override).
+The CLI enables the result cache by default -- ``--no-cache`` opts out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import ablation, cost, design, migration_study, motivation
+from repro.experiments import overall, sensitivity
+from repro.experiments.orchestrator import (
+    ResultCache,
+    SweepJob,
+    default_jobs,
+    run_sweep,
+    sweep_product,
+)
+from repro.experiments.runner import default_records
+from repro.variants import MAIN_VARIANTS, VARIANTS, canonical_variant
+from repro.workloads.suites import WORKLOAD_NAMES, canonical_workload
+
+#: Figure/table drivers reachable from ``python -m repro figures``.
+FIGURES: Dict[str, Callable] = {
+    "fig2": motivation.fig2_dram_vs_cssd,
+    "fig3": motivation.fig3_latency_distribution,
+    "fig4": motivation.fig4_boundedness,
+    "fig5": motivation.fig5_read_locality,
+    "fig6": motivation.fig6_write_locality,
+    "fig9": design.fig9_threshold_sweep,
+    "fig10": design.fig10_scheduling_policies,
+    "fig14": overall.fig14_overall,
+    "fig15": overall.fig15_thread_scaling,
+    "fig16": overall.fig16_request_breakdown,
+    "fig17": overall.fig17_amat,
+    "fig18": overall.fig18_write_traffic,
+    "fig19": sensitivity.fig19_log_size_performance,
+    "fig20": sensitivity.fig20_log_size_traffic,
+    "fig21": sensitivity.fig21_dram_size,
+    "fig22": sensitivity.fig22_flash_latency,
+    "fig23": migration_study.fig23_migration_mechanisms,
+    "table3": overall.table3_flash_read_latency,
+    "cost": cost.cost_effectiveness,
+    "prefetch-ablation": ablation.prefetch_ablation,
+    "promotion-threshold": ablation.promotion_threshold_sweep,
+    "persistence-interval": ablation.persistence_interval_sweep,
+}
+
+
+def _split_names(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    """Flatten repeated/comma-separated name options to one list."""
+    if not values:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(part for part in value.split(",") if part)
+    return out or None
+
+
+def _cache_from_args(args: argparse.Namespace) -> object:
+    """The cache argument for run_sweep: CLI caches by default."""
+    if getattr(args, "no_cache", False):
+        return False
+    if getattr(args, "cache_dir", None):
+        return ResultCache(args.cache_dir)
+    return ResultCache()
+
+
+def _print_kv(rows: Dict[str, object], indent: str = "  ") -> None:
+    width = max(len(k) for k in rows) + 2
+    for key, value in rows.items():
+        if isinstance(value, float):
+            print(f"{indent}{key:<{width}}{value:.6g}")
+        else:
+            print(f"{indent}{key:<{width}}{value}")
+
+
+def _progress_printer(verbose: bool) -> Optional[Callable[[SweepJob, str], None]]:
+    if not verbose:
+        return None
+
+    def report(job: SweepJob, source: str) -> None:
+        print(f"  [{source:>5}] {job.label()}", flush=True)
+
+    return report
+
+
+def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--records", type=int, default=None,
+                        help="trace records per thread (default REPRO_RECORDS)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default .repro_cache)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+
+
+def _bad_name(exc: KeyError) -> int:
+    """Report an unknown workload/variant name and return exit code 2.
+
+    Only name lookups are caught this way -- a KeyError escaping from
+    deeper in a driver is a bug and must traceback, not masquerade as
+    bad user input.
+    """
+    print(f"error: {exc.args[0]}", file=sys.stderr)
+    return 2
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        job = SweepJob.make(
+            args.workload,
+            args.variant,
+            records_per_thread=args.records,
+            threads=args.threads,
+            scale=args.scale,
+            timing=args.timing,
+            seed=args.seed,
+        )
+    except KeyError as exc:
+        return _bad_name(exc)
+    result = run_sweep([job], jobs=1, cache=_cache_from_args(args))[0]
+    print(f"{result.workload} / {result.variant} "
+          f"({result.threads} threads, {result.config.ssd.timing.name} flash)")
+    _print_kv(result.stats.summary())
+    if args.json:
+        Path(args.json).write_text(json.dumps(result.to_dict(), indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        workloads = [canonical_workload(w)
+                     for w in (_split_names(args.workloads) or WORKLOAD_NAMES)]
+        variants = [canonical_variant(v)
+                    for v in (_split_names(args.variants) or MAIN_VARIANTS)]
+    except KeyError as exc:
+        return _bad_name(exc)
+    records = args.records or default_records()
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    store = _cache_from_args(args)
+    specs = sweep_product(
+        workloads,
+        variants,
+        records_per_thread=records,
+        threads=args.threads,
+        scale=args.scale,
+        timing=args.timing,
+        seed=args.seed,
+    )
+    print(f"sweep: {len(workloads)} workload(s) x {len(variants)} variant(s) "
+          f"= {len(specs)} cell(s), {records} records/thread, jobs={jobs}")
+    results = run_sweep(specs, jobs=jobs, cache=store,
+                        progress=_progress_printer(not args.quiet))
+
+    header = f"{'workload':<12}{'variant':<16}{'threads':>8}" \
+             f"{'exec_ms':>12}{'ipns':>10}{'ctx_sw':>8}"
+    print(header)
+    for r in results:
+        print(f"{r.workload:<12}{r.variant:<16}{r.threads:>8}"
+              f"{r.stats.execution_ns / 1e6:>12.3f}"
+              f"{r.stats.throughput_ipns:>10.4f}"
+              f"{r.stats.context_switches:>8}")
+
+    if isinstance(store, ResultCache):
+        total = store.hits + store.misses
+        pct = 100.0 * store.hits / total if total else 0.0
+        print(f"cache: {store.hits} hit(s), {store.misses} miss(es) "
+              f"({pct:.0f}% hits) in {store.root}")
+    else:
+        print("cache: disabled")
+
+    if args.output:
+        payload = {
+            "workloads": workloads,
+            "variants": variants,
+            "records_per_thread": records,
+            "jobs": jobs,
+            "results": [r.to_dict() for r in results],
+        }
+        if isinstance(store, ResultCache):
+            payload["cache"] = {"hits": store.hits, "misses": store.misses,
+                                "dir": str(store.root)}
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _figure_kwargs(fn: Callable, args: argparse.Namespace) -> Dict[str, object]:
+    """The subset of CLI options this figure driver understands."""
+    accepted = inspect.signature(fn).parameters
+    candidates: Dict[str, object] = {
+        "workloads": _split_names(args.workloads),
+        "records": args.records,
+        "jobs": args.jobs,
+        # False (from --no-cache) must reach the driver explicitly,
+        # otherwise resolve_cache would fall back to REPRO_CACHE.
+        "cache": _cache_from_args(args),
+    }
+    return {
+        name: value
+        for name, value in candidates.items()
+        if name in accepted and value is not None
+    }
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    try:
+        if args.workloads:
+            args.workloads = [canonical_workload(w)
+                              for w in _split_names(args.workloads)]
+    except KeyError as exc:
+        return _bad_name(exc)
+    names = _split_names(args.names) or sorted(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        fn = FIGURES[name]
+        print(f"== {name}: {fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}")
+        data = fn(**_figure_kwargs(fn, args))
+        path = out_dir / f"{name}.json"
+        path.write_text(json.dumps(data, indent=2, default=str))
+        print(f"   wrote {path}")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    if args.action == "path":
+        print(store.root)
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    print(f"cache dir: {store.root}")
+    print(f"entries:   {len(entries)}")
+    print(f"size:      {store.size_bytes() / 1024:.1f} KiB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SkyByte reproduction: parallel experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one (workload, variant) cell")
+    p_run.add_argument("workload", help=f"one of {', '.join(WORKLOAD_NAMES)}")
+    p_run.add_argument("variant", help=f"one of {', '.join(VARIANTS)}")
+    p_run.add_argument("--threads", type=int, default=None)
+    p_run.add_argument("--scale", type=int, default=None)
+    p_run.add_argument("--timing", default=None,
+                       choices=["ULL", "ULL2", "SLC", "MLC"])
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--json", default=None, help="write RunResult JSON here")
+    _add_common_run_options(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a workload x variant grid in parallel"
+    )
+    p_sweep.add_argument("--workloads", action="append", default=None,
+                         help="comma-separated or repeated (default: all)")
+    p_sweep.add_argument("--variants", action="append", default=None,
+                         help="comma-separated or repeated (default: Fig.14 set)")
+    p_sweep.add_argument("--threads", type=int, default=None)
+    p_sweep.add_argument("--scale", type=int, default=None)
+    p_sweep.add_argument("--timing", default=None,
+                         choices=["ULL", "ULL2", "SLC", "MLC"])
+    p_sweep.add_argument("--seed", type=int, default=None)
+    p_sweep.add_argument("--output", "-o", default=None,
+                         help="write results JSON here")
+    _add_common_run_options(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fig = sub.add_parser(
+        "figures", help="regenerate evaluation figures through the pool"
+    )
+    p_fig.add_argument("names", nargs="*", default=None,
+                       help=f"figures to run (default all): "
+                            f"{', '.join(sorted(FIGURES))}")
+    p_fig.add_argument("--workloads", action="append", default=None)
+    p_fig.add_argument("--output", "-o", default="figures_out",
+                       help="directory for per-figure JSON (default figures_out)")
+    _add_common_run_options(p_fig)
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_cache.add_argument("action", nargs="?", default="stats",
+                         choices=["stats", "clear", "path"])
+    p_cache.add_argument("--cache-dir", default=None)
+    p_cache.set_defaults(func=cmd_cache)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

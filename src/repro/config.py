@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 # ---------------------------------------------------------------------------
 # Fundamental units
@@ -272,6 +272,28 @@ class SimConfig:
     def replace(self, **kwargs) -> "SimConfig":
         """Return a copy with top-level fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe) for caching and IPC."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SimConfig":
+        """Rebuild a :class:`SimConfig` from :meth:`to_dict` output."""
+        ssd_data = dict(data["ssd"])
+        ssd_data["geometry"] = FlashGeometry(**ssd_data["geometry"])
+        ssd_data["timing"] = FlashTiming(**ssd_data["timing"])
+        return SimConfig(
+            cpu=CPUConfig(**data["cpu"]),
+            os=OSConfig(**data["os"]),
+            cxl=CXLConfig(**data["cxl"]),
+            ssd=SSDConfig(**ssd_data),
+            skybyte=SkyByteConfig(**data["skybyte"]),
+            dram_only=bool(data["dram_only"]),
+            threads=int(data["threads"]),
+            warmup_fraction=float(data["warmup_fraction"]),
+            seed=int(data["seed"]),
+        )
 
     def with_ssd(self, **kwargs) -> "SimConfig":
         return self.replace(ssd=dataclasses.replace(self.ssd, **kwargs))

@@ -25,7 +25,6 @@ compaction stays off the critical path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.config import SSDConfig
 from repro.core.compaction import LogCompactor

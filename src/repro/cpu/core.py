@@ -26,7 +26,6 @@ from repro.config import SimConfig
 from repro.host.scheduler import Scheduler
 from repro.host.threads import ThreadContext, Window
 from repro.sim.engine import Engine
-from repro.sim.stats import SimStats
 from repro.ssd.interface import AccessResult
 
 

@@ -11,7 +11,7 @@ squash (long CXL latencies otherwise exhaust them).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.config import CPUConfig
 from repro.cpu.cache import CpuCache

@@ -1,1 +1,25 @@
-"""Per-figure experiment drivers (one module per evaluation section)."""
+"""Per-figure experiment drivers (one module per evaluation section).
+
+All drivers route their independent simulation cells through
+:mod:`repro.experiments.orchestrator`, which provides process-pool
+parallelism (``jobs=N``) and an on-disk result cache.
+"""
+
+from repro.experiments.orchestrator import (
+    ResultCache,
+    SweepJob,
+    run_pairs,
+    run_sweep,
+    sweep_product,
+)
+from repro.experiments.runner import RunResult, run_workload
+
+__all__ = [
+    "ResultCache",
+    "RunResult",
+    "SweepJob",
+    "run_pairs",
+    "run_sweep",
+    "run_workload",
+    "sweep_product",
+]

@@ -8,40 +8,24 @@ paper's named variants; these sweeps quantify them:
 * the baseline's dirty-page persistence interval (the block-durability
   semantics SkyByte's battery-backed log escapes),
 * the scheduling quantum backstop.
+
+All cells run through the orchestrator (``ssd_overrides`` carries the
+ablated knob), so they parallelise and cache like every other sweep.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-
-from repro.experiments.runner import build_config, default_records
-from repro.sim.system import System
-from repro.variants import get_variant
-from repro.workloads.suites import get_model
-
-
-def _run_with_ssd_override(
-    workload: str,
-    variant: str,
-    records: int,
-    threads: Optional[int] = None,
-    **ssd_overrides,
-):
-    design = get_variant(variant)
-    config = build_config()
-    if threads is None:
-        threads = design.default_threads(config.cpu.cores)
-    config = config.replace(threads=threads).with_ssd(**ssd_overrides)
-    model = get_model(workload)
-    traces = model.generate(threads, records)
-    system = System(config, traces, design, workload_mlp=model.spec.mlp)
-    return system.run()
+from repro.experiments.orchestrator import SweepJob, run_sweep
+from repro.experiments.runner import default_records
 
 
 def prefetch_ablation(
     workloads: Sequence[str] = ("srad", "bc"),
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Base-CSSD with and without next-page prefetch.
 
@@ -49,12 +33,18 @@ def prefetch_ablation(
     prefetcher; pointer-chasing ones (bc) barely notice.
     """
     records = records or default_records()
+    specs = []
+    for wl in workloads:
+        for depth in (1, 0):
+            specs.append(SweepJob.make(
+                wl, "Base-CSSD", records_per_thread=records,
+                ssd_overrides={"prefetch_depth": depth},
+            ))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
-        with_pf = _run_with_ssd_override(wl, "Base-CSSD", records,
-                                         prefetch_depth=1)
-        without = _run_with_ssd_override(wl, "Base-CSSD", records,
-                                         prefetch_depth=0)
+        with_pf = next(sweep).stats
+        without = next(sweep).stats
         rows[wl] = {
             "with_prefetch_ipns": with_pf.throughput_ipns,
             "without_prefetch_ipns": without.throughput_ipns,
@@ -68,16 +58,24 @@ def promotion_threshold_sweep(
     workload: str = "ycsb",
     thresholds: Sequence[int] = (8, 24, 64, 256),
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[int, Dict[str, float]]:
     """How the §III-C hotness threshold trades promotion precision
     against churn: too low promotes lukewarm pages (migration overhead),
     too high leaves hot pages on flash."""
     records = records or default_records()
-    rows: Dict[int, Dict[str, float]] = {}
-    for threshold in thresholds:
-        stats = _run_with_ssd_override(
-            workload, "SkyByte-P", records, promotion_threshold=threshold
+    specs = [
+        SweepJob.make(
+            workload, "SkyByte-P", records_per_thread=records,
+            ssd_overrides={"promotion_threshold": threshold},
         )
+        for threshold in thresholds
+    ]
+    sweep = run_sweep(specs, jobs=jobs, cache=cache)
+    rows: Dict[int, Dict[str, float]] = {}
+    for threshold, result in zip(thresholds, sweep):
+        stats = result.stats
         rows[threshold] = {
             "ipns": stats.throughput_ipns,
             "pages_promoted": float(stats.pages_promoted),
@@ -91,17 +89,24 @@ def persistence_interval_sweep(
     workload: str = "tpcc",
     intervals_us: Sequence[float] = (50, 100, 500, 0),
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[float, Dict[str, float]]:
     """The baseline's dirty-flush interval: tighter durability means more
     flash programs (0 disables the flush entirely -- the volatile-cache
     upper bound)."""
     records = records or default_records()
-    rows: Dict[float, Dict[str, float]] = {}
-    for interval in intervals_us:
-        stats = _run_with_ssd_override(
-            workload, "Base-CSSD", records,
-            dirty_flush_interval_ns=interval * 1000.0,
+    specs = [
+        SweepJob.make(
+            workload, "Base-CSSD", records_per_thread=records,
+            ssd_overrides={"dirty_flush_interval_ns": interval * 1000.0},
         )
+        for interval in intervals_us
+    ]
+    sweep = run_sweep(specs, jobs=jobs, cache=cache)
+    rows: Dict[float, Dict[str, float]] = {}
+    for interval, result in zip(intervals_us, sweep):
+        stats = result.stats
         rows[interval] = {
             "ipns": stats.throughput_ipns,
             "flash_writes_per_Mi": stats.flash_page_writes

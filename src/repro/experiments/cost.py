@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.config import GB
-from repro.experiments.runner import default_records, run_workload
+from repro.experiments.orchestrator import run_sweep, sweep_product
+from repro.experiments.runner import default_records
 from repro.workloads.suites import WORKLOAD_NAMES
 
 #: $/GB, from §VI-B.
@@ -61,6 +61,8 @@ def cost_effectiveness(
     workloads: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
     model: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, object]:
     """Measured performance-per-dollar of SkyByte-Full vs DRAM-Only.
 
@@ -70,11 +72,17 @@ def cost_effectiveness(
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
     model = model or CostModel()
+    sweep = iter(run_sweep(
+        sweep_product(workloads, ["DRAM-Only", "SkyByte-Full"],
+                      records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    ))
     fractions: Dict[str, float] = {}
     product = 1.0
     for wl in workloads:
-        ideal = run_workload(wl, "DRAM-Only", records_per_thread=records)
-        full = run_workload(wl, "SkyByte-Full", records_per_thread=records)
+        ideal = next(sweep)
+        full = next(sweep)
         frac = full.stats.throughput_ipns / max(ideal.stats.throughput_ipns, 1e-12)
         fractions[wl] = frac
         product *= frac

@@ -8,7 +8,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.runner import default_records, run_workload
+from repro.experiments.orchestrator import SweepJob, run_sweep
+from repro.experiments.runner import default_records
 from repro.workloads.suites import representative_four
 
 #: The thresholds of Fig. 9, in microseconds.
@@ -22,6 +23,8 @@ def fig9_threshold_sweep(
     workloads: Optional[Sequence[str]] = None,
     thresholds_us: Sequence[float] = FIG9_THRESHOLDS_US,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[float, float]]:
     """Fig. 9: normalized execution time vs trigger threshold.
 
@@ -31,18 +34,21 @@ def fig9_threshold_sweep(
     """
     workloads = list(workloads or representative_four())
     records = records or default_records()
+    specs = [
+        SweepJob.make(
+            wl, "SkyByte-Full", records_per_thread=records,
+            cs_threshold_ns=threshold * 1000.0,
+        )
+        for wl in workloads
+        for threshold in thresholds_us
+    ]
+    results = iter(run_sweep(specs, jobs=jobs, cache=cache))
     rows: Dict[str, Dict[float, float]] = {}
     for wl in workloads:
         base_ipns = None
         sweep: Dict[float, float] = {}
         for threshold in thresholds_us:
-            r = run_workload(
-                wl,
-                "SkyByte-Full",
-                records_per_thread=records,
-                cs_threshold_ns=threshold * 1000.0,
-            )
-            ipns = max(r.stats.throughput_ipns, 1e-12)
+            ipns = max(next(results).stats.throughput_ipns, 1e-12)
             if base_ipns is None:
                 base_ipns = ipns
             sweep[threshold] = base_ipns / ipns  # normalized execution time
@@ -53,6 +59,8 @@ def fig9_threshold_sweep(
 def fig10_scheduling_policies(
     workloads: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 10: execution time and its breakdown under RR/Random/CFS.
 
@@ -62,17 +70,20 @@ def fig10_scheduling_policies(
     """
     workloads = list(workloads or ["bc", "radix", "srad", "tpcc"])
     records = records or default_records()
+    specs = [
+        SweepJob.make(
+            wl, "SkyByte-Full", records_per_thread=records, t_policy=policy
+        )
+        for wl in workloads
+        for policy in FIG10_POLICIES
+    ]
+    results = iter(run_sweep(specs, jobs=jobs, cache=cache))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
         rr_ipns = None
         per_policy: Dict[str, Dict[str, float]] = {}
         for policy in FIG10_POLICIES:
-            r = run_workload(
-                wl,
-                "SkyByte-Full",
-                records_per_thread=records,
-                t_policy=policy,
-            )
+            r = next(results)
             ipns = max(r.stats.throughput_ipns, 1e-12)
             if rr_ipns is None:
                 rr_ipns = ipns

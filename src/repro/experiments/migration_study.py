@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.runner import default_records, run_workload
+from repro.experiments.orchestrator import run_sweep, sweep_product
+from repro.experiments.runner import default_records
 from repro.variants import MIGRATION_VARIANTS
 from repro.workloads.suites import WORKLOAD_NAMES
 
@@ -21,18 +22,25 @@ def fig23_migration_mechanisms(
     workloads: Optional[Sequence[str]] = None,
     variants: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 23: normalized execution time, SkyByte-C = 1.0 (lower is
     better)."""
     workloads = list(workloads or WORKLOAD_NAMES)
     variants = list(variants or MIGRATION_VARIANTS)
     records = records or default_records()
+    sweep = iter(run_sweep(
+        sweep_product(workloads, variants, records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
         base = None
         per_variant: Dict[str, float] = {}
         for variant in variants:
-            r = run_workload(wl, variant, records_per_thread=records)
+            r = next(sweep)
             if base is None:
                 base = r
             per_variant[variant] = 1.0 / max(r.speedup_over(base), 1e-12)

@@ -8,10 +8,11 @@ locality CDFs that motivate the write log (Figs. 5/6).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.config import CACHELINES_PER_PAGE, PAGE_SIZE
-from repro.experiments.runner import default_records, run_workload
+from repro.experiments.orchestrator import run_sweep, sweep_product
+from repro.experiments.runner import default_records
 from repro.sim.stats import LocalityTracker
 from repro.ssd.base_cache import SetAssociativePageCache
 from repro.workloads.suites import WORKLOAD_NAMES, get_model, representative_four
@@ -20,6 +21,8 @@ from repro.workloads.suites import WORKLOAD_NAMES, get_model, representative_fou
 def fig2_dram_vs_cssd(
     workloads: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 2: normalized execution time of Base-CSSD over DRAM.
 
@@ -28,10 +31,16 @@ def fig2_dram_vs_cssd(
     """
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
+    sweep = iter(run_sweep(
+        sweep_product(workloads, ["DRAM-Only", "Base-CSSD"],
+                      records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
-        dram = run_workload(wl, "DRAM-Only", records_per_thread=records)
-        cssd = run_workload(wl, "Base-CSSD", records_per_thread=records)
+        dram = next(sweep)
+        cssd = next(sweep)
         rows[wl] = {
             "slowdown": dram.speedup_over(cssd),
             "dram_ipns": dram.stats.throughput_ipns,
@@ -43,6 +52,8 @@ def fig2_dram_vs_cssd(
 def fig3_latency_distribution(
     workloads: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, object]]:
     """Fig. 3: off-chip latency distribution, DRAM vs CXL-SSD.
 
@@ -53,12 +64,18 @@ def fig3_latency_distribution(
     """
     workloads = list(workloads or representative_four())
     records = records or default_records()
+    labelled = (("DRAM", "DRAM-Only"), ("CXL-SSD", "Base-CSSD"))
+    sweep = iter(run_sweep(
+        sweep_product(workloads, [v for _label, v in labelled],
+                      records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    ))
     rows: Dict[str, Dict[str, object]] = {}
     for wl in workloads:
         out: Dict[str, object] = {}
-        for label, variant in (("DRAM", "DRAM-Only"), ("CXL-SSD", "Base-CSSD")):
-            r = run_workload(wl, variant, records_per_thread=records)
-            hist = r.stats.offchip_latency
+        for label, _variant in labelled:
+            hist = next(sweep).stats.offchip_latency
             out[label] = {
                 "cdf": hist.cdf(),
                 "p50_ns": hist.percentile(50),
@@ -73,6 +90,8 @@ def fig3_latency_distribution(
 def fig4_boundedness(
     workloads: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 4: memory- vs compute-bounded cycle fractions.
 
@@ -81,10 +100,16 @@ def fig4_boundedness(
     """
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
+    sweep = iter(run_sweep(
+        sweep_product(workloads, ["DRAM-Only", "Base-CSSD"],
+                      records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
-        dram = run_workload(wl, "DRAM-Only", records_per_thread=records)
-        cssd = run_workload(wl, "Base-CSSD", records_per_thread=records)
+        dram = next(sweep)
+        cssd = next(sweep)
         rows[wl] = {
             "dram_memory_bound": dram.stats.boundedness()["memory"],
             "cssd_memory_bound": cssd.stats.boundedness()["memory"],

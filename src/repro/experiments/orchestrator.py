@@ -1,0 +1,331 @@
+"""Parallel experiment orchestration with on-disk result caching.
+
+Every figure of the paper's evaluation is a sweep over independent
+(workload, variant, parameter) cells, so the whole evaluation is
+embarrassingly parallel.  This module is the single funnel those sweeps
+go through:
+
+* :class:`SweepJob` -- a hashable, picklable description of one
+  :func:`~repro.experiments.runner.run_workload` call;
+* :func:`run_sweep` -- executes a list of jobs, fanning out over a
+  ``ProcessPoolExecutor`` (``jobs`` workers) while preserving input
+  order, deduplicating identical cells, and consulting the result cache;
+* :class:`ResultCache` -- a JSON-per-result cache under ``.repro_cache/``
+  keyed by a stable hash of the fully *resolved* simulation config plus
+  workload, variant, trace length and time limit, so a re-run only
+  simulates missing cells and a config change can never serve stale data.
+
+Determinism: each job builds its own :class:`~repro.sim.system.System`
+from its own seeds, so a parallel sweep is numerically identical to the
+serial loop it replaces -- worker results round-trip through
+``RunResult.to_dict()`` (lossless for finite floats) whether they come
+from a pool worker, the cache, or an in-process run.
+
+Environment knobs: ``REPRO_JOBS`` (default worker count), ``REPRO_CACHE``
+(truthy enables caching when callers do not say), ``REPRO_CACHE_DIR``
+(cache location, default ``.repro_cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.runner import DEFAULT_SCALE, RunResult, resolve_run, run_workload
+from repro.variants import canonical_variant
+from repro.workloads.suites import canonical_workload
+
+JOBS_ENV = "REPRO_JOBS"
+CACHE_ENV = "REPRO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bump when the serialized result format or simulator semantics change
+#: incompatibly; old cache entries then miss instead of deserializing
+#: garbage.
+CACHE_VERSION = 1
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: A job given to :func:`run_sweep`: either a prepared :class:`SweepJob`
+#: or a bare ``(workload, variant)`` pair.
+JobLike = Union["SweepJob", Tuple[str, str]]
+
+
+def default_jobs() -> int:
+    """Worker count when a sweep does not specify one (REPRO_JOBS, min 1)."""
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (workload, variant, parameters) simulation cell.
+
+    ``params`` holds :func:`run_workload` keyword arguments as a sorted
+    tuple of pairs so jobs are hashable (for dedup) and picklable (for
+    the process pool).  Build via :meth:`make`, which canonicalises
+    names and drops ``None`` values.
+    """
+
+    workload: str
+    variant: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, workload: str, variant: str, **params: object) -> "SweepJob":
+        clean = {k: v for k, v in params.items() if v is not None}
+        overrides = clean.get("ssd_overrides")
+        if isinstance(overrides, dict):
+            clean["ssd_overrides"] = tuple(sorted(overrides.items()))
+        return cls(
+            workload=canonical_workload(workload),
+            variant=canonical_variant(variant),
+            params=tuple(sorted(clean.items())),
+        )
+
+    def kwargs(self) -> Dict[str, object]:
+        """The run_workload keyword arguments this job encodes."""
+        kw = dict(self.params)
+        overrides = kw.get("ssd_overrides")
+        if isinstance(overrides, tuple):
+            kw["ssd_overrides"] = dict(overrides)
+        return kw
+
+    def key(self) -> str:
+        """Stable cache key for this job (hex digest).
+
+        Hashes the *resolved* config -- scale, REPRO_RECORDS and thread
+        defaults are applied first -- so two spellings of the same cell
+        share a key and any config difference produces a new one.
+        """
+        kw = self.kwargs()
+        config, records = resolve_run(self.workload, self.variant, **kw)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "workload": self.workload,
+            "variant": self.variant,
+            "records_per_thread": records,
+            "scale": kw.get("scale", DEFAULT_SCALE),
+            "max_ns": kw.get("max_ns"),
+            "config": config.to_dict(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:40]
+
+    def label(self) -> str:
+        return f"{self.workload}/{self.variant}"
+
+
+def sweep_product(
+    workloads: Sequence[str],
+    variants: Sequence[str],
+    **params: object,
+) -> List[SweepJob]:
+    """The full workload x variant grid, row-major (variant fastest)."""
+    return [
+        SweepJob.make(wl, variant, **params)
+        for wl in workloads
+        for variant in variants
+    ]
+
+
+class ResultCache:
+    """On-disk result cache: one JSON file per simulated cell.
+
+    Layout: ``<root>/<key>.json`` where ``<root>`` defaults to
+    ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``) and ``<key>``
+    is :meth:`SweepJob.key`.  Files hold ``RunResult.to_dict()`` output
+    and are written atomically (tmp file + rename), so a sweep killed
+    mid-write never leaves a corrupt entry -- unreadable entries are
+    treated as misses.  ``hits``/``misses`` count lookups since this
+    object was created; :func:`run_sweep` reports them.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (counting hit/miss)."""
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            result = RunResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        tmp = final.with_name(final.name + f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, separators=(",", ":"))
+        os.replace(tmp, final)
+
+    def entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete all cached results; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def resolve_cache(
+    cache: Union[ResultCache, bool, str, Path, None],
+) -> Optional[ResultCache]:
+    """Normalise a ``cache`` argument to a ResultCache or None.
+
+    ``True`` -> default cache; ``False`` -> disabled; a path -> cache at
+    that directory; ``None`` -> enabled iff ``REPRO_CACHE`` is truthy
+    (so library callers and tests stay side-effect free by default while
+    the CLI opts in).
+    """
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    if cache is None and os.environ.get(CACHE_ENV, "").lower() in _TRUTHY:
+        return ResultCache()
+    return None
+
+
+def _as_job(item: JobLike) -> SweepJob:
+    if isinstance(item, SweepJob):
+        return item
+    workload, variant = item
+    return SweepJob.make(workload, variant)
+
+
+def _execute_job(job: SweepJob) -> RunResult:
+    return run_workload(job.workload, job.variant, **job.kwargs())
+
+
+def _execute_job_dict(job: SweepJob) -> Dict[str, object]:
+    """Pool-worker entry point: run one job, return its dict form.
+
+    Dicts (not live RunResults) cross the process boundary so the
+    parent reconstructs results through exactly the same path the cache
+    uses -- one serialization format, one set of invariants.
+    """
+    return _execute_job(job).to_dict()
+
+
+def run_sweep(
+    jobs_or_pairs: Iterable[JobLike],
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, bool, str, Path, None] = None,
+    progress: Optional[Callable[[SweepJob, str], None]] = None,
+) -> List[RunResult]:
+    """Run a batch of simulation cells, in parallel, through the cache.
+
+    Args:
+        jobs_or_pairs: :class:`SweepJob` objects or ``(workload,
+            variant)`` pairs; results come back in the same order.
+        jobs: worker processes (1 = run in-process; default
+            ``REPRO_JOBS`` or 1).
+        cache: see :func:`resolve_cache`.
+        progress: optional callback invoked per completed cell with the
+            job and its source (``"cache"`` or ``"run"``).
+
+    Identical jobs are simulated once and fanned back out to every
+    position that requested them.
+    """
+    specs = [_as_job(item) for item in jobs_or_pairs]
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, int(jobs))
+    store = resolve_cache(cache)
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    # Deduplicate: one simulation per distinct cache key, results shared.
+    key_order: List[str] = []
+    positions: Dict[str, List[int]] = {}
+    job_for_key: Dict[str, SweepJob] = {}
+    for i, spec in enumerate(specs):
+        key = spec.key()
+        if key not in positions:
+            positions[key] = []
+            key_order.append(key)
+            job_for_key[key] = spec
+        positions[key].append(i)
+
+    pending: List[str] = []
+    for key in key_order:
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            for i in positions[key]:
+                results[i] = cached
+            if progress is not None:
+                progress(job_for_key[key], "cache")
+        else:
+            pending.append(key)
+
+    def _finish(key: str, result: RunResult) -> None:
+        if store is not None:
+            store.put(key, result)
+        for i in positions[key]:
+            results[i] = result
+        if progress is not None:
+            progress(job_for_key[key], "run")
+
+    if jobs == 1 or len(pending) <= 1:
+        for key in pending:
+            _finish(key, _execute_job(job_for_key[key]))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute_job_dict, job_for_key[key]): key
+                for key in pending
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    _finish(futures[future], RunResult.from_dict(future.result()))
+
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def run_pairs(
+    workloads: Sequence[str],
+    variants: Sequence[str],
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, bool, str, Path, None] = None,
+    progress: Optional[Callable[[SweepJob, str], None]] = None,
+    **params: object,
+) -> Dict[Tuple[str, str], RunResult]:
+    """Convenience grid sweep returning ``{(workload, variant): result}``."""
+    specs = sweep_product(workloads, variants, **params)
+    out = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
+    return {(r.workload, r.variant): r for r in out}

@@ -10,13 +10,18 @@ coordinated context switch, 8 otherwise) over per-thread traces, all
 "normalized execution time" numbers here are time-per-instruction ratios
 -- exactly the paper's metric once its fixed program section is divided
 out.
+
+Every function fans its independent (workload, variant) cells out
+through :func:`repro.experiments.orchestrator.run_sweep`; pass ``jobs``
+to parallelise and ``cache`` to reuse previously simulated cells.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.runner import RunResult, default_records, run_workload
+from repro.experiments.orchestrator import SweepJob, run_sweep, sweep_product
+from repro.experiments.runner import default_records
 from repro.variants import MAIN_VARIANTS
 from repro.workloads.suites import WORKLOAD_NAMES
 
@@ -25,6 +30,8 @@ def fig14_overall(
     workloads: Optional[Sequence[str]] = None,
     variants: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 14: normalized execution time of every design vs Base-CSSD.
 
@@ -36,12 +43,18 @@ def fig14_overall(
     workloads = list(workloads or WORKLOAD_NAMES)
     variants = list(variants or MAIN_VARIANTS)
     records = records or default_records()
+    sweep = run_sweep(
+        sweep_product(workloads, variants, records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    )
     rows: Dict[str, Dict[str, float]] = {}
+    it = iter(sweep)
     for wl in workloads:
-        base: Optional[RunResult] = None
+        base = None
         per_variant: Dict[str, float] = {}
         for variant in variants:
-            r = run_workload(wl, variant, records_per_thread=records)
+            r = next(it)
             if base is None:
                 base = r
             per_variant[variant] = 1.0 / max(r.speedup_over(base), 1e-12)
@@ -53,6 +66,8 @@ def fig15_thread_scaling(
     workloads: Optional[Sequence[str]] = None,
     thread_counts: Sequence[int] = (8, 16, 24, 32, 40, 48),
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Fig. 15: SkyByte-Full throughput and SSD bandwidth vs threads.
 
@@ -62,26 +77,34 @@ def fig15_thread_scaling(
     """
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
+    specs = []
+    for wl in workloads:
+        specs.append(
+            SweepJob.make(wl, "SkyByte-WP", records_per_thread=records, threads=8)
+        )
+        specs.extend(
+            SweepJob.make(
+                wl, "SkyByte-Full", records_per_thread=records, threads=threads
+            )
+            for threads in thread_counts
+        )
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
     rows: Dict[str, Dict[int, Dict[str, float]]] = {}
     for wl in workloads:
-        baseline = run_workload(
-            wl, "SkyByte-WP", records_per_thread=records, threads=8
-        )
+        baseline = next(sweep)
         base_ipns = max(baseline.stats.throughput_ipns, 1e-12)
         base_bw = max(baseline.stats.flash_page_reads
                       / max(baseline.stats.execution_ns, 1.0), 1e-12)
-        sweep: Dict[int, Dict[str, float]] = {}
+        per_threads: Dict[int, Dict[str, float]] = {}
         for threads in thread_counts:
-            r = run_workload(
-                wl, "SkyByte-Full", records_per_thread=records, threads=threads
-            )
+            r = next(sweep)
             flash_bw = r.stats.flash_page_reads / max(r.stats.execution_ns, 1.0)
-            sweep[threads] = {
+            per_threads[threads] = {
                 "throughput": r.stats.throughput_ipns / base_ipns,
                 "ssd_bandwidth": flash_bw / base_bw,
                 "context_switches": float(r.stats.context_switches),
             }
-        rows[wl] = sweep
+        rows[wl] = per_threads
     return rows
 
 
@@ -89,22 +112,27 @@ def fig16_request_breakdown(
     workloads: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
     variant: str = "SkyByte-Full",
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 16: fraction of requests per class (H-R/W, S-R-H, S-R-M, S-W)
     under the full SkyByte design."""
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
-    rows: Dict[str, Dict[str, float]] = {}
-    for wl in workloads:
-        r = run_workload(wl, variant, records_per_thread=records)
-        rows[wl] = r.stats.request_breakdown()
-    return rows
+    sweep = run_sweep(
+        sweep_product(workloads, [variant], records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    )
+    return {wl: r.stats.request_breakdown() for wl, r in zip(workloads, sweep)}
 
 
 def fig17_amat(
     workloads: Optional[Sequence[str]] = None,
     variants: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 17: AMAT and its component breakdown per design.
 
@@ -119,11 +147,16 @@ def fig17_amat(
             "SkyByte-Full", "DRAM-Only"]
     )
     records = records or default_records()
+    sweep = iter(run_sweep(
+        sweep_product(workloads, variants, records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    ))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
         per_variant: Dict[str, Dict[str, float]] = {}
         for variant in variants:
-            r = run_workload(wl, variant, records_per_thread=records)
+            r = next(sweep)
             entry = {"amat_ns": r.stats.amat_ns}
             entry.update(r.stats.amat_breakdown())
             per_variant[variant] = entry
@@ -135,6 +168,8 @@ def fig18_write_traffic(
     workloads: Optional[Sequence[str]] = None,
     variants: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 18: flash write traffic normalized to Base-CSSD.
 
@@ -146,12 +181,17 @@ def fig18_write_traffic(
     workloads = list(workloads or WORKLOAD_NAMES)
     variants = list(variants or MAIN_VARIANTS[:-1])  # DRAM-Only writes none
     records = records or default_records()
+    sweep = iter(run_sweep(
+        sweep_product(workloads, variants, records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
         base_rate = None
         per_variant: Dict[str, float] = {}
         for variant in variants:
-            r = run_workload(wl, variant, records_per_thread=records)
+            r = next(sweep)
             rate = r.stats.flash_page_writes / max(r.stats.instructions, 1)
             if base_rate is None:
                 base_rate = max(rate, 1e-12)
@@ -163,6 +203,8 @@ def fig18_write_traffic(
 def table3_flash_read_latency(
     workloads: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, float]:
     """Table III: average flash read latency (us) under SkyByte-WP.
 
@@ -172,8 +214,12 @@ def table3_flash_read_latency(
     """
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
-    rows: Dict[str, float] = {}
-    for wl in workloads:
-        r = run_workload(wl, "SkyByte-WP", records_per_thread=records)
-        rows[wl] = r.stats.flash_read_latency.mean / 1000.0
-    return rows
+    sweep = run_sweep(
+        sweep_product(workloads, ["SkyByte-WP"], records_per_thread=records),
+        jobs=jobs,
+        cache=cache,
+    )
+    return {
+        wl: r.stats.flash_read_latency.mean / 1000.0
+        for wl, r in zip(workloads, sweep)
+    }

@@ -14,8 +14,8 @@ All benchmarks, examples and figure drivers go through
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.config import SimConfig, scaled_config
 from repro.sim.stats import SimStats
@@ -55,6 +55,30 @@ class RunResult:
             return 0.0
         return self.stats.throughput_ipns / max(other.stats.throughput_ipns, 1e-12)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form; round-trips losslessly via :meth:`from_dict`.
+
+        This is what worker processes ship back to the orchestrator and
+        what the on-disk result cache stores.
+        """
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "threads": self.threads,
+            "stats": self.stats.to_dict(),
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        return cls(
+            workload=data["workload"],
+            variant=data["variant"],
+            threads=int(data["threads"]),
+            stats=SimStats.from_dict(data["stats"]),
+            config=SimConfig.from_dict(data["config"]),
+        )
+
 
 def build_config(
     scale: int = DEFAULT_SCALE,
@@ -67,20 +91,28 @@ def build_config(
     dram_bytes: Optional[int] = None,
     host_budget_bytes: Optional[int] = None,
     warmup_fraction: float = 0.1,
+    ssd_overrides: Optional[Dict[str, object]] = None,
 ) -> SimConfig:
-    """Assemble a scaled config with the common experiment overrides."""
+    """Assemble a scaled config with the common experiment overrides.
+
+    ``ssd_overrides`` passes arbitrary :class:`~repro.config.SSDConfig`
+    fields (``prefetch_depth``, ``promotion_threshold``, ...) straight
+    through, applied after the named shortcuts above.
+    """
     config = scaled_config(scale=scale, threads=threads, timing=timing, seed=seed)
     config = config.replace(warmup_fraction=warmup_fraction)
-    ssd_overrides: Dict[str, object] = {}
+    ssd_fields: Dict[str, object] = {}
     if dram_bytes is not None:
-        ssd_overrides["dram_bytes"] = dram_bytes
+        ssd_fields["dram_bytes"] = dram_bytes
         # Keep the paper's 1:7 log:cache split unless told otherwise.
         if write_log_bytes is None:
-            ssd_overrides["write_log_bytes"] = max(dram_bytes // 8, 4096)
+            ssd_fields["write_log_bytes"] = max(dram_bytes // 8, 4096)
     if write_log_bytes is not None:
-        ssd_overrides["write_log_bytes"] = write_log_bytes
+        ssd_fields["write_log_bytes"] = write_log_bytes
     if ssd_overrides:
-        config = config.with_ssd(**ssd_overrides)
+        ssd_fields.update(ssd_overrides)
+    if ssd_fields:
+        config = config.with_ssd(**ssd_fields)
     os_overrides: Dict[str, object] = {}
     if cs_threshold_ns is not None:
         os_overrides["cs_threshold_ns"] = cs_threshold_ns
@@ -91,6 +123,54 @@ def build_config(
     if host_budget_bytes is not None:
         config = config.with_cpu(host_promote_budget_bytes=host_budget_bytes)
     return config
+
+
+def resolve_run(
+    workload: str,
+    variant: str,
+    *,
+    scale: int = DEFAULT_SCALE,
+    records_per_thread: Optional[int] = None,
+    threads: Optional[int] = None,
+    timing: str = "ULL",
+    seed: int = 42,
+    cs_threshold_ns: Optional[float] = None,
+    t_policy: Optional[str] = None,
+    write_log_bytes: Optional[int] = None,
+    dram_bytes: Optional[int] = None,
+    host_budget_bytes: Optional[int] = None,
+    warmup_fraction: float = 0.1,
+    max_ns: Optional[float] = None,
+    ssd_overrides: Optional[Dict[str, object]] = None,
+) -> Tuple[SimConfig, int]:
+    """Resolve the exact ``(config, records_per_thread)`` a
+    :func:`run_workload` call with these arguments would simulate.
+
+    Shared by :func:`run_workload` and the orchestrator's cache keying so
+    the key always reflects the *resolved* configuration (thread defaults,
+    REPRO_RECORDS, capacity ratios), never the raw argument spelling.
+    ``max_ns`` is accepted (so a job's kwargs can be splatted directly)
+    but does not influence the config.
+    """
+    del max_ns  # part of the run, not of the config
+    design: DesignVariant = get_variant(variant)
+    if records_per_thread is None:
+        records_per_thread = default_records()
+    base = build_config(
+        scale=scale,
+        timing=timing,
+        seed=seed,
+        cs_threshold_ns=cs_threshold_ns,
+        t_policy=t_policy,
+        write_log_bytes=write_log_bytes,
+        dram_bytes=dram_bytes,
+        host_budget_bytes=host_budget_bytes,
+        warmup_fraction=warmup_fraction,
+        ssd_overrides=ssd_overrides,
+    )
+    if threads is None:
+        threads = design.default_threads(base.cpu.cores)
+    return base.replace(threads=threads), records_per_thread
 
 
 def run_workload(
@@ -109,13 +189,16 @@ def run_workload(
     host_budget_bytes: Optional[int] = None,
     warmup_fraction: float = 0.1,
     max_ns: Optional[float] = None,
+    ssd_overrides: Optional[Dict[str, object]] = None,
 ) -> RunResult:
     """Simulate one (workload, design) pair and return its stats."""
     design: DesignVariant = get_variant(variant)
-    if records_per_thread is None:
-        records_per_thread = default_records()
-    base = build_config(
+    config, records_per_thread = resolve_run(
+        workload,
+        variant,
         scale=scale,
+        records_per_thread=records_per_thread,
+        threads=threads,
         timing=timing,
         seed=seed,
         cs_threshold_ns=cs_threshold_ns,
@@ -124,18 +207,16 @@ def run_workload(
         dram_bytes=dram_bytes,
         host_budget_bytes=host_budget_bytes,
         warmup_fraction=warmup_fraction,
+        ssd_overrides=ssd_overrides,
     )
-    if threads is None:
-        threads = design.default_threads(base.cpu.cores)
-    config = base.replace(threads=threads)
     model = get_model(workload, scale=scale, seed=seed)
-    traces = model.generate(threads, records_per_thread)
+    traces = model.generate(config.threads, records_per_thread)
     system = System(config, traces, design, workload_mlp=model.spec.mlp)
     stats = system.run(max_ns=max_ns)
     return RunResult(
         workload=workload,
         variant=variant,
-        threads=threads,
+        threads=config.threads,
         stats=stats,
         config=system.config,
     )

@@ -4,6 +4,10 @@ Fig. 19/20 sweep the write-log size at fixed total SSD DRAM; Fig. 21
 sweeps the SSD DRAM size (host budget and log scaled along, as in the
 paper); Fig. 22 swaps the flash timing between ULL/ULL2/SLC/MLC and
 varies SkyByte-Full's thread count.
+
+All sweeps fan out through the orchestrator (``jobs`` workers, shared
+result cache), so e.g. Fig. 19 and Fig. 20 -- which simulate the same
+(workload, log size) cells -- only pay for them once when cached.
 """
 
 from __future__ import annotations
@@ -11,7 +15,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.config import KB
-from repro.experiments.runner import default_records, run_workload
+from repro.experiments.orchestrator import SweepJob, run_sweep
+from repro.experiments.runner import default_records
 from repro.workloads.suites import WORKLOAD_NAMES
 
 #: Scaled-down analogue of Fig. 19/20's 0.5 MB..256 MB sweep.  The
@@ -25,10 +30,31 @@ FIG21_DRAM_SIZES = (256 * KB, 512 * KB, 1024 * KB, 2048 * KB, 4096 * KB)
 FIG22_TIMINGS = ("ULL", "ULL2", "SLC", "MLC")
 
 
+def _log_size_sweep(
+    workloads: Sequence[str],
+    log_sizes: Sequence[int],
+    records: int,
+    jobs: Optional[int],
+    cache: object,
+) -> Dict[str, Dict[int, "object"]]:
+    """One SkyByte-Full run per (workload, log size), as a nested dict."""
+    specs = [
+        SweepJob.make(
+            wl, "SkyByte-Full", records_per_thread=records, write_log_bytes=size
+        )
+        for wl in workloads
+        for size in log_sizes
+    ]
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    return {wl: {size: next(sweep) for size in log_sizes} for wl in workloads}
+
+
 def fig19_log_size_performance(
     workloads: Optional[Sequence[str]] = None,
     log_sizes: Sequence[int] = FIG19_LOG_SIZES,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig. 19: SkyByte-Full execution time vs write-log size (total SSD
     DRAM fixed).  Normalized to the largest log.  Paper shape: a log of
@@ -36,16 +62,13 @@ def fig19_log_size_performance(
     workloads."""
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
+    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache)
     rows: Dict[str, Dict[int, float]] = {}
     for wl in workloads:
         ref_ipns = None
         sweep: Dict[int, float] = {}
         for size in sorted(log_sizes, reverse=True):
-            r = run_workload(
-                wl, "SkyByte-Full", records_per_thread=records,
-                write_log_bytes=size,
-            )
-            ipns = max(r.stats.throughput_ipns, 1e-12)
+            ipns = max(cells[wl][size].stats.throughput_ipns, 1e-12)
             if ref_ipns is None:
                 ref_ipns = ipns
             sweep[size] = ref_ipns / ipns
@@ -57,22 +80,22 @@ def fig20_log_size_traffic(
     workloads: Optional[Sequence[str]] = None,
     log_sizes: Sequence[int] = FIG19_LOG_SIZES,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig. 20: flash write traffic vs write-log size, normalized to the
     smallest log.  Paper shape: traffic falls steeply as the log (and so
     the coalescing window) grows."""
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
+    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache)
     rows: Dict[str, Dict[int, float]] = {}
     for wl in workloads:
         ref_rate = None
         sweep: Dict[int, float] = {}
         for size in sorted(log_sizes):
-            r = run_workload(
-                wl, "SkyByte-Full", records_per_thread=records,
-                write_log_bytes=size,
-            )
-            rate = r.stats.flash_page_writes / max(r.stats.instructions, 1)
+            stats = cells[wl][size].stats
+            rate = stats.flash_page_writes / max(stats.instructions, 1)
             if ref_rate is None:
                 ref_rate = max(rate, 1e-12)
             sweep[size] = rate / ref_rate
@@ -85,6 +108,8 @@ def fig21_dram_size(
     dram_sizes: Sequence[int] = FIG21_DRAM_SIZES,
     variants: Optional[Sequence[str]] = None,
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Fig. 21: execution time vs SSD DRAM cache size per design.
 
@@ -98,23 +123,31 @@ def fig21_dram_size(
     records = records or default_records()
     sizes = sorted(dram_sizes)
     reference_size = sizes[len(sizes) // 2]
-    rows: Dict[str, Dict[str, Dict[int, float]]] = {}
+    specs = []
     for wl in workloads:
-        ref = run_workload(
+        specs.append(SweepJob.make(
             wl, "SkyByte-Full", records_per_thread=records,
             dram_bytes=reference_size, host_budget_bytes=reference_size * 4,
+        ))
+        specs.extend(
+            SweepJob.make(
+                wl, variant, records_per_thread=records,
+                dram_bytes=size, host_budget_bytes=size * 4,
+            )
+            for variant in variants
+            for size in sizes
         )
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    rows: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for wl in workloads:
+        ref = next(sweep)
         ref_ipns = max(ref.stats.throughput_ipns, 1e-12)
         per_variant: Dict[str, Dict[int, float]] = {}
         for variant in variants:
-            sweep: Dict[int, float] = {}
-            for size in sizes:
-                r = run_workload(
-                    wl, variant, records_per_thread=records,
-                    dram_bytes=size, host_budget_bytes=size * 4,
-                )
-                sweep[size] = ref_ipns / max(r.stats.throughput_ipns, 1e-12)
-            per_variant[variant] = sweep
+            per_variant[variant] = {
+                size: ref_ipns / max(next(sweep).stats.throughput_ipns, 1e-12)
+                for size in sizes
+            }
         rows[wl] = per_variant
     return rows
 
@@ -125,6 +158,8 @@ def fig22_flash_latency(
     variants: Optional[Sequence[str]] = None,
     thread_counts: Sequence[int] = (16, 24, 32),
     records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 22: performance with ULL/ULL2/SLC/MLC flash.
 
@@ -137,26 +172,39 @@ def fig22_flash_latency(
     workloads = list(workloads or WORKLOAD_NAMES)
     variants = list(variants or ["SkyByte-P", "SkyByte-WP"])
     records = records or default_records()
-    rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+    specs = []
     for wl in workloads:
-        ref = run_workload(
+        specs.append(SweepJob.make(
             wl, "SkyByte-Full", records_per_thread=records, threads=24,
             timing="ULL",
-        )
+        ))
+        for timing in timings:
+            specs.extend(
+                SweepJob.make(
+                    wl, variant, records_per_thread=records, timing=timing
+                )
+                for variant in variants
+            )
+            specs.extend(
+                SweepJob.make(
+                    wl, "SkyByte-Full", records_per_thread=records,
+                    threads=threads, timing=timing,
+                )
+                for threads in thread_counts
+            )
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for wl in workloads:
+        ref = next(sweep)
         ref_ipns = max(ref.stats.throughput_ipns, 1e-12)
         per_timing: Dict[str, Dict[str, float]] = {}
         for timing in timings:
             cell: Dict[str, float] = {}
             for variant in variants:
-                r = run_workload(
-                    wl, variant, records_per_thread=records, timing=timing
-                )
+                r = next(sweep)
                 cell[variant] = ref_ipns / max(r.stats.throughput_ipns, 1e-12)
             for threads in thread_counts:
-                r = run_workload(
-                    wl, "SkyByte-Full", records_per_thread=records,
-                    threads=threads, timing=timing,
-                )
+                r = next(sweep)
                 cell[f"SkyByte-Full-{threads}"] = ref_ipns / max(
                     r.stats.throughput_ipns, 1e-12
                 )

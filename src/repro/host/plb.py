@@ -15,7 +15,7 @@ chunk currently in flight.  :class:`HugePagePLB` implements that variant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.config import CACHELINES_PER_PAGE

@@ -18,7 +18,7 @@ sometimes does.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.host.threads import ThreadContext
 

@@ -10,11 +10,17 @@ engines) schedules work through a single :class:`Engine`.
 from __future__ import annotations
 
 import heapq
+import warnings
 from typing import Callable, List, Optional, Tuple
 
 
 class Engine:
     """A deterministic discrete-event simulator clock."""
+
+    #: Slack (ns) below ``now`` that :meth:`schedule_at` absorbs silently.
+    #: Callers compute absolute completion times incrementally, so a few
+    #: ulps of floating-point drift must not trip the past-time warning.
+    PAST_TOLERANCE_NS = 1e-6
 
     def __init__(self) -> None:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
@@ -39,7 +45,24 @@ class Engine:
         heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute time ``when``."""
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Past-time semantics: a ``when`` strictly earlier than ``now`` (beyond
+        :data:`PAST_TOLERANCE_NS` of floating-point slack) is **clamped to
+        now** and a :class:`RuntimeWarning` is emitted -- the callback still
+        runs, at the current instant, after events already queued for it.
+        Scheduling in the past is almost always a caller bug (a completion
+        time computed from stale state), so it is surfaced rather than
+        silently absorbed, but clamping keeps long sweeps alive instead of
+        aborting mid-simulation.
+        """
+        if when < self._now - self.PAST_TOLERANCE_NS:
+            warnings.warn(
+                f"schedule_at({when!r}) is {self._now - when:.3f} ns in the "
+                f"past (now={self._now!r}); clamping to now",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.schedule(when - self._now, callback)
 
     def stop(self) -> None:

@@ -19,7 +19,7 @@ Stats collection honours a warmup window: all mutators are no-ops while
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.config import CACHELINES_PER_PAGE
 
@@ -111,6 +111,27 @@ class LatencyHistogram:
             seen += self._counts[bucket]
         return seen / self._total
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (bucket keys become strings; an empty
+        histogram stores ``min`` as ``None`` instead of ``inf``)."""
+        return {
+            "counts": {str(b): c for b, c in self._counts.items()},
+            "total": self._total,
+            "sum": self._sum,
+            "max": self._max,
+            "min": self._min if self._total else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencyHistogram":
+        hist = cls()
+        hist._counts = {int(b): int(c) for b, c in data["counts"].items()}
+        hist._total = int(data["total"])
+        hist._sum = float(data["sum"])
+        hist._max = float(data["max"])
+        hist._min = math.inf if data["min"] is None else float(data["min"])
+        return hist
+
 
 class LocalityTracker:
     """Collects the per-page cacheline-touch ratios of Figs. 5 and 6.
@@ -158,6 +179,57 @@ class LocalityTracker:
             return 0.0
         touched = sum(k * c for k, c in enumerate(self._counts))
         return touched / (self._total * CACHELINES_PER_PAGE)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"counts": list(self._counts), "total": self._total}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LocalityTracker":
+        tracker = cls()
+        counts = [int(c) for c in data["counts"]]
+        # Tolerate trackers serialized at a different CACHELINES_PER_PAGE.
+        tracker._counts[: len(counts)] = counts[: len(tracker._counts)]
+        tracker._total = int(data["total"])
+        return tracker
+
+
+#: Plain-number attributes of :class:`SimStats`, serialized verbatim.
+SCALAR_STATS: Tuple[str, ...] = (
+    "instructions",
+    "compute_ns",
+    "memory_stall_ns",
+    "context_switch_ns",
+    "context_switches",
+    "start_ns",
+    "end_ns",
+    "amat_host_dram_ns",
+    "amat_protocol_ns",
+    "amat_indexing_ns",
+    "amat_ssd_dram_ns",
+    "amat_flash_ns",
+    "amat_accesses",
+    "flash_page_reads",
+    "flash_page_writes",
+    "flash_block_erases",
+    "gc_page_moves",
+    "gc_invocations",
+    "host_lines_written",
+    "host_lines_read",
+    "log_appends",
+    "log_coalesced_updates",
+    "log_compactions",
+    "compaction_pages_flushed",
+    "compaction_ns",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_dirty_evictions",
+    "prefetch_issued",
+    "pages_promoted",
+    "pages_demoted",
+    "promoted_hits",
+    "cxl_bytes",
+)
 
 
 class SimStats:
@@ -393,6 +465,43 @@ class SimStats:
         if total == 0:
             return {c: 0.0 for c in REQUEST_CLASSES}
         return {c: self.request_counts[c] / total for c in REQUEST_CLASSES}
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict capturing every counter, histogram and tracker.
+
+        Round-trips losslessly through :meth:`from_dict`: the orchestrator
+        relies on this so a cached or worker-process result is numerically
+        identical to one computed in-process.
+        """
+        return {
+            "enabled": self.enabled,
+            "scalars": {name: getattr(self, name) for name in SCALAR_STATS},
+            "request_counts": dict(self.request_counts),
+            "offchip_latency": self.offchip_latency.to_dict(),
+            "flash_read_latency": self.flash_read_latency.to_dict(),
+            "read_locality": self.read_locality.to_dict(),
+            "write_locality": self.write_locality.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        stats = cls()
+        stats.enabled = bool(data["enabled"])
+        for name, value in data["scalars"].items():
+            setattr(stats, name, value)
+        stats.request_counts = {c: 0 for c in REQUEST_CLASSES}
+        stats.request_counts.update(
+            {c: int(n) for c, n in data["request_counts"].items()}
+        )
+        stats.offchip_latency = LatencyHistogram.from_dict(data["offchip_latency"])
+        stats.flash_read_latency = LatencyHistogram.from_dict(
+            data["flash_read_latency"]
+        )
+        stats.read_locality = LocalityTracker.from_dict(data["read_locality"])
+        stats.write_locality = LocalityTracker.from_dict(data["write_locality"])
+        return stats
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of headline metrics, handy for tables."""

@@ -110,9 +110,20 @@ MIGRATION_VARIANTS: List[str] = [
 ]
 
 
+#: Lowercased lookup so CLI spellings like ``skybyte-full`` resolve.
+_VARIANTS_FOLDED: Dict[str, DesignVariant] = {
+    name.lower(): variant for name, variant in VARIANTS.items()
+}
+
+
+def canonical_variant(name: str) -> str:
+    """Map a variant name (case-insensitive) to its registry key."""
+    return get_variant(name).name
+
+
 def get_variant(name: str) -> DesignVariant:
     try:
-        return VARIANTS[name]
+        return _VARIANTS_FOLDED[name.lower()]
     except KeyError:
         raise KeyError(
             f"unknown design variant {name!r}; available: {sorted(VARIANTS)}"

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.config import GB, MB
+from repro.config import GB
 from repro.workloads.models import WorkloadModel, WorkloadSpec
 
 #: Table I, one spec per row.
@@ -145,14 +145,29 @@ WORKLOAD_NAMES: List[str] = [
 ]
 
 
-def get_spec(name: str) -> WorkloadSpec:
-    """Look up a Table I workload spec by name."""
-    try:
-        return TABLE_I[name]
-    except KeyError:
+#: Accepted spellings for Table I workloads (the paper and its artifact
+#: use a few: "ycsb-b" is YCSB workload B, "bfs" the dense Rodinia BFS).
+WORKLOAD_ALIASES: Dict[str, str] = {
+    "ycsb-b": "ycsb",
+    "ycsbb": "ycsb",
+    "bfs": "bfs-dense",
+}
+
+
+def canonical_workload(name: str) -> str:
+    """Map a workload name or alias (case-insensitive) to its Table I key."""
+    key = name.lower()
+    key = WORKLOAD_ALIASES.get(key, key)
+    if key not in TABLE_I:
         raise KeyError(
             f"unknown workload {name!r}; available: {sorted(TABLE_I)}"
-        ) from None
+        )
+    return key
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a Table I workload spec by name (aliases accepted)."""
+    return TABLE_I[canonical_workload(name)]
 
 
 def get_model(name: str, scale: int = 512, seed: int = 42) -> WorkloadModel:

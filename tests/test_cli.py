@@ -1,0 +1,130 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+R = "80"  # records per thread: plumbing-sized
+
+
+def test_run_prints_summary(capsys, tmp_path):
+    out_json = tmp_path / "run.json"
+    rc = main(["run", "bc", "Base-CSSD", "--records", R, "--no-cache",
+               "--json", str(out_json)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bc / Base-CSSD" in out
+    assert "throughput_ipns" in out
+    data = json.loads(out_json.read_text())
+    assert data["workload"] == "bc"
+    assert data["stats"]["scalars"]["instructions"] > 0
+
+
+def test_run_accepts_aliases_and_case(capsys):
+    rc = main(["run", "YCSB-B", "skybyte-full", "--records", R, "--no-cache"])
+    assert rc == 0
+    assert "ycsb / SkyByte-Full" in capsys.readouterr().out
+
+
+def test_run_unknown_workload_fails_cleanly(capsys):
+    rc = main(["run", "nope", "Base-CSSD", "--records", R, "--no-cache"])
+    assert rc == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_sweep_writes_results_and_reports_cache(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    output = tmp_path / "results.json"
+    argv = ["sweep", "--workloads", "ycsb-b", "--variants", "skybyte-full",
+            "--records", R, "--jobs", "2", "--cache-dir", str(cache_dir),
+            "--output", str(output), "--quiet"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "0 hit(s), 1 miss(es)" in first
+
+    payload = json.loads(output.read_text())
+    assert payload["workloads"] == ["ycsb"]
+    assert payload["variants"] == ["SkyByte-Full"]
+    assert len(payload["results"]) == 1
+    assert payload["results"][0]["stats"]["scalars"]["instructions"] > 0
+    assert payload["cache"] == {"hits": 0, "misses": 1, "dir": str(cache_dir)}
+
+    # Re-run: 100% cache hits, identical stats.
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "1 hit(s), 0 miss(es) (100% hits)" in second
+    repeat = json.loads(output.read_text())
+    assert repeat["results"] == payload["results"]
+
+
+def test_sweep_multiple_cells_table(capsys, tmp_path):
+    rc = main(["sweep", "--workloads", "bc,ycsb", "--variants",
+               "Base-CSSD,DRAM-Only", "--records", R, "--no-cache", "--quiet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "= 4 cell(s)" in out
+    assert "cache: disabled" in out
+    assert out.count("DRAM-Only") >= 2
+
+
+def test_figures_subcommand_writes_json(capsys, tmp_path):
+    out_dir = tmp_path / "figs"
+    rc = main(["figures", "fig2", "--workloads", "bc", "--records", R,
+               "--no-cache", "--output", str(out_dir), "--quiet"])
+    assert rc == 0
+    data = json.loads((out_dir / "fig2.json").read_text())
+    assert data["bc"]["slowdown"] > 1.0
+
+
+def test_figures_rejects_unknown_name(capsys, tmp_path):
+    rc = main(["figures", "fig999", "--output", str(tmp_path)])
+    assert rc == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_figures_registry_covers_every_driver():
+    expected = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10",
+                "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+                "fig20", "fig21", "fig22", "fig23", "table3", "cost"}
+    assert expected <= set(FIGURES)
+
+
+def test_cache_stats_path_and_clear(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    main(["sweep", "--workloads", "bc", "--variants", "Base-CSSD",
+          "--records", R, "--cache-dir", str(cache_dir), "--quiet"])
+    capsys.readouterr()
+
+    assert main(["cache", "path", "--cache-dir", str(cache_dir)]) == 0
+    assert capsys.readouterr().out.strip() == str(cache_dir)
+
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    assert "entries:   1" in capsys.readouterr().out
+
+    assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+    assert "removed 1 cached result(s)" in capsys.readouterr().out
+
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    assert "entries:   0" in capsys.readouterr().out
+
+
+def test_cache_dir_env_override(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+    assert main(["cache", "path"]) == 0
+    assert capsys.readouterr().out.strip() == str(tmp_path / "env-cache")
+
+
+def test_records_env_default(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RECORDS", R)
+    rc = main(["sweep", "--workloads", "bc", "--variants", "Base-CSSD",
+               "--no-cache", "--quiet"])
+    assert rc == 0
+    assert f"{R} records/thread" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("argv", [[], ["bogus"]])
+def test_bad_invocations_exit_nonzero(argv):
+    with pytest.raises(SystemExit):
+        main(argv)

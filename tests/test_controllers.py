@@ -1,7 +1,5 @@
 """Tests for the Base-CSSD and SkyByte controllers (device behaviour)."""
 
-import pytest
-
 from repro.config import scaled_config
 from repro.core.controller import SkyByteController
 from repro.cxl.protocol import M2SOpcode, MemRequest

@@ -6,7 +6,6 @@ import pytest
 from repro.config import scaled_config
 from repro.sim.system import System
 from repro.variants import get_variant
-from repro.workloads.suites import get_model
 
 
 def run_system(variant, traces, threads=None, mlp=8, **cfg_kwargs):

@@ -1,5 +1,7 @@
 """Tests for the discrete-event engine."""
 
+import warnings
+
 import pytest
 
 from repro.sim.engine import Engine
@@ -46,6 +48,48 @@ def test_schedule_at_absolute_time():
     engine.schedule_at(100.0, lambda: seen.append(engine.now))
     engine.run()
     assert seen == [100.0]
+
+
+def test_schedule_at_past_warns_and_clamps():
+    engine = Engine()
+    seen = []
+
+    def late():
+        # now == 10; scheduling at t=3 is strictly in the past.
+        with pytest.warns(RuntimeWarning, match="past"):
+            engine.schedule_at(3.0, lambda: seen.append(engine.now))
+
+    engine.schedule(10, late)
+    end = engine.run()
+    # The callback still runs, clamped to the scheduling instant.
+    assert seen == [10.0]
+    assert end == 10.0
+
+
+def test_schedule_at_now_or_future_does_not_warn():
+    engine = Engine()
+    fired = []
+
+    def on_time():
+        engine.schedule_at(engine.now, lambda: fired.append("now"))
+        engine.schedule_at(engine.now + 5, lambda: fired.append("later"))
+
+    engine.schedule(10, on_time)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        engine.run()
+    assert fired == ["now", "later"]
+
+
+def test_schedule_at_tolerates_float_drift():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        # Within PAST_TOLERANCE_NS of now: treated as rounding, not a bug.
+        engine.schedule_at(engine.now - Engine.PAST_TOLERANCE_NS / 2,
+                           lambda: None)
 
 
 def test_run_until_stops_at_boundary():

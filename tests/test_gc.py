@@ -1,7 +1,5 @@
 """Tests for garbage collection."""
 
-import pytest
-
 from repro.config import FLASH_TIMINGS, FlashGeometry, SSDConfig
 from repro.sim.engine import Engine
 from repro.sim.stats import SimStats

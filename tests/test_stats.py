@@ -1,11 +1,8 @@
 """Tests for statistics collection: histograms, locality, AMAT."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.config import CACHELINES_PER_PAGE
 from repro.sim.stats import (
     HOST_DRAM,
     LatencyHistogram,
@@ -159,8 +156,6 @@ class TestSimStats:
         assert s.amat_flash_ns == pytest.approx(0.0)
 
     def test_write_amplification(self):
-        from repro.config import CACHELINE_SIZE, PAGE_SIZE
-
         s = SimStats()
         s.host_lines_written = 64  # one page worth of lines
         s.flash_page_writes = 4

@@ -2,11 +2,8 @@
 
 import pytest
 
-from repro.config import scaled_config
 from repro.experiments.runner import build_config, run_workload
-from repro.sim.system import System
-from repro.variants import VARIANTS, get_variant
-from repro.workloads.suites import get_model
+from repro.variants import VARIANTS
 
 RECORDS = 600
 

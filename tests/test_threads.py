@@ -1,8 +1,6 @@
 """Tests for thread contexts and window building."""
 
-import pytest
-
-from repro.host.threads import ThreadContext, Window
+from repro.host.threads import ThreadContext
 
 
 def make_trace(n=10, gap=5):

@@ -2,12 +2,9 @@
 
 import pytest
 
-from repro.config import CACHELINES_PER_PAGE, GB, PAGE_SIZE
-from repro.workloads.models import WorkloadModel, WorkloadSpec
+from repro.config import GB, PAGE_SIZE
 from repro.workloads.suites import TABLE_I, WORKLOAD_NAMES, get_model, get_spec
 from repro.workloads.trace import (
-    trace_footprint_pages,
-    trace_instructions,
     trace_mpki,
     trace_write_ratio,
 )
