@@ -8,17 +8,28 @@ Subcommands
 ``sweep``
     Run a workload x variant grid through the parallel orchestrator
     (``--jobs N`` worker processes, on-disk result cache) and write the
-    per-run stats as JSON.
+    per-run stats as JSON.  ``--backend`` picks the execution backend
+    (``local`` process pool, ``thread`` pool, or ``distributed`` TCP
+    workers named by ``--workers HOST:PORT,...``).
 ``figures``
     Regenerate the paper's evaluation figures/tables (fig2..fig23,
-    table3, cost) through the shared pool, one JSON file per figure.
+    table3, cost) through the shared orchestrator, one JSON file per
+    figure.
+``worker``
+    Serve sweep cells to a distributed coordinator over TCP: either
+    ``--listen [HOST:]PORT`` (coordinator dials with ``--workers``) or
+    ``--connect HOST:PORT`` (dial a coordinator started with
+    ``--listen``).
 ``cache``
-    Inspect (``stats``), locate (``path``) or empty (``clear``) the
-    result cache.
+    Inspect (``stats``), bound (``prune``), locate (``path``) or empty
+    (``clear``) the result cache.
 
 Trace length per thread follows ``REPRO_RECORDS`` unless ``--records``
-is given; ``REPRO_JOBS`` sets the default worker count; the cache lives
-in ``.repro_cache/`` (``REPRO_CACHE_DIR`` or ``--cache-dir`` override).
+is given; ``REPRO_JOBS`` sets the default worker count;
+``REPRO_BENCH_BACKEND``/``REPRO_BENCH_WORKERS`` the default backend;
+the cache lives in ``.repro_cache/`` (``REPRO_CACHE_DIR`` or
+``--cache-dir`` override) and is size-capped by
+``REPRO_CACHE_MAX_BYTES`` / ``--cache-max-bytes`` (0 = unbounded).
 The CLI enables the result cache by default -- ``--no-cache`` opts out.
 """
 
@@ -33,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import ablation, cost, design, migration_study, motivation
 from repro.experiments import overall, sensitivity
+from repro.experiments.backends import DistributedBackend, resolve_backend
 from repro.experiments.orchestrator import (
     ResultCache,
     SweepJob,
@@ -41,6 +53,7 @@ from repro.experiments.orchestrator import (
     sweep_product,
 )
 from repro.experiments.runner import default_records
+from repro.experiments.worker import run_worker
 from repro.variants import MAIN_VARIANTS, VARIANTS, canonical_variant
 from repro.workloads.suites import WORKLOAD_NAMES, canonical_workload
 
@@ -85,9 +98,32 @@ def _cache_from_args(args: argparse.Namespace) -> object:
     """The cache argument for run_sweep: CLI caches by default."""
     if getattr(args, "no_cache", False):
         return False
-    if getattr(args, "cache_dir", None):
-        return ResultCache(args.cache_dir)
-    return ResultCache()
+    max_bytes = getattr(args, "cache_max_bytes", None)
+    return ResultCache(getattr(args, "cache_dir", None), max_bytes=max_bytes)
+
+
+def _backend_from_args(args: argparse.Namespace) -> object:
+    """The backend for run_sweep, or None for the environment default.
+
+    ``--listen`` builds a coordinator workers dial in to
+    (``repro worker --connect``); ``--workers`` dials listening workers;
+    ``--backend`` names the backend explicitly (``--workers`` alone
+    implies ``distributed``).
+    """
+    listen = getattr(args, "listen", None)
+    workers = _split_names(getattr(args, "workers", None))
+    spec = getattr(args, "backend", None)
+    if listen:
+        if spec not in (None, "distributed"):
+            raise ValueError(
+                f"--listen is a distributed-backend option, "
+                f"incompatible with --backend {spec}"
+            )
+        # Mixed topology: dial the named workers AND accept dial-ins.
+        return DistributedBackend(listen=listen, workers=workers or [])
+    if spec is None and not workers:
+        return None  # let run_sweep apply REPRO_BENCH_BACKEND / local
+    return resolve_backend(spec, jobs=getattr(args, "jobs", None), workers=workers)
 
 
 def _print_kv(rows: Dict[str, object], indent: str = "  ") -> None:
@@ -114,10 +150,24 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
                         help="trace records per thread (default REPRO_RECORDS)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default REPRO_JOBS or 1)")
+    parser.add_argument("--backend", default=None,
+                        choices=["local", "thread", "serial", "distributed"],
+                        help="execution backend (default REPRO_BENCH_BACKEND "
+                             "or local)")
+    parser.add_argument("--workers", action="append", default=None,
+                        metavar="HOST:PORT,...",
+                        help="distributed worker addresses to dial "
+                             "(started with: repro worker --listen PORT)")
+    parser.add_argument("--listen", default=None, metavar="[HOST:]PORT",
+                        help="coordinate distributed workers that dial in "
+                             "(started with: repro worker --connect HOST:PORT)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the result cache")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory (default .repro_cache)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="evict LRU cache entries beyond this size "
+                             "(default REPRO_CACHE_MAX_BYTES; 0 = unbounded)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
 
@@ -130,6 +180,11 @@ def _bad_name(exc: KeyError) -> int:
     bad user input.
     """
     print(f"error: {exc.args[0]}", file=sys.stderr)
+    return 2
+
+
+def _bad_backend(exc: ValueError) -> int:
+    print(f"error: {exc}", file=sys.stderr)
     return 2
 
 
@@ -146,7 +201,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     except KeyError as exc:
         return _bad_name(exc)
-    result = run_sweep([job], jobs=1, cache=_cache_from_args(args))[0]
+    try:
+        backend = _backend_from_args(args)
+    except ValueError as exc:
+        return _bad_backend(exc)
+    result = run_sweep([job], jobs=args.jobs or 1, cache=_cache_from_args(args),
+                       backend=backend)[0]
     print(f"{result.workload} / {result.variant} "
           f"({result.threads} threads, {result.config.ssd.timing.name} flash)")
     _print_kv(result.stats.summary())
@@ -164,6 +224,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     for v in (_split_names(args.variants) or MAIN_VARIANTS)]
     except KeyError as exc:
         return _bad_name(exc)
+    try:
+        backend = _backend_from_args(args)
+    except ValueError as exc:
+        return _bad_backend(exc)
     records = args.records or default_records()
     jobs = args.jobs if args.jobs is not None else default_jobs()
     store = _cache_from_args(args)
@@ -176,9 +240,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         timing=args.timing,
         seed=args.seed,
     )
+    backend_label = backend.describe() if backend is not None else "default"
     print(f"sweep: {len(workloads)} workload(s) x {len(variants)} variant(s) "
-          f"= {len(specs)} cell(s), {records} records/thread, jobs={jobs}")
-    results = run_sweep(specs, jobs=jobs, cache=store,
+          f"= {len(specs)} cell(s), {records} records/thread, jobs={jobs}, "
+          f"backend={backend_label}")
+    results = run_sweep(specs, jobs=jobs, cache=store, backend=backend,
                         progress=_progress_printer(not args.quiet))
 
     header = f"{'workload':<12}{'variant':<16}{'threads':>8}" \
@@ -204,6 +270,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "variants": variants,
             "records_per_thread": records,
             "jobs": jobs,
+            "backend": backend_label,
             "results": [r.to_dict() for r in results],
         }
         if isinstance(store, ResultCache):
@@ -214,7 +281,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _figure_kwargs(fn: Callable, args: argparse.Namespace) -> Dict[str, object]:
+def _figure_kwargs(
+    fn: Callable, args: argparse.Namespace, backend: object
+) -> Dict[str, object]:
     """The subset of CLI options this figure driver understands."""
     accepted = inspect.signature(fn).parameters
     candidates: Dict[str, object] = {
@@ -224,6 +293,7 @@ def _figure_kwargs(fn: Callable, args: argparse.Namespace) -> Dict[str, object]:
         # False (from --no-cache) must reach the driver explicitly,
         # otherwise resolve_cache would fall back to REPRO_CACHE.
         "cache": _cache_from_args(args),
+        "backend": backend,
     }
     return {
         name: value
@@ -245,20 +315,52 @@ def cmd_figures(args: argparse.Namespace) -> int:
         print(f"unknown figure(s): {', '.join(unknown)}; "
               f"available: {', '.join(sorted(FIGURES))}", file=sys.stderr)
         return 2
+    # One backend for all figures: a --listen coordinator binds its port
+    # exactly once, and bad backend arguments fail before any simulation.
+    try:
+        backend = _backend_from_args(args)
+    except ValueError as exc:
+        return _bad_backend(exc)
     out_dir = Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        fn = FIGURES[name]
-        print(f"== {name}: {fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}")
-        data = fn(**_figure_kwargs(fn, args))
-        path = out_dir / f"{name}.json"
-        path.write_text(json.dumps(data, indent=2, default=str))
-        print(f"   wrote {path}")
+    try:
+        for name in names:
+            fn = FIGURES[name]
+            print(f"== {name}: {fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}")
+            data = fn(**_figure_kwargs(fn, args, backend))
+            path = out_dir / f"{name}.json"
+            path.write_text(json.dumps(data, indent=2, default=str))
+            print(f"   wrote {path}")
+    finally:
+        if backend is not None:
+            backend.close()
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    # Workers share the coordinator's content-addressed cache when
+    # pointed at the same directory (e.g. a shared filesystem).
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(args.cache_dir, max_bytes=args.cache_max_bytes)
+    )
+    try:
+        return run_worker(
+            connect=args.connect,
+            listen=args.listen,
+            cache=cache,
+            retries=args.retry,
+            retry_delay=args.retry_delay,
+            once=args.once,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
-    store = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    store = ResultCache(args.cache_dir, max_bytes=args.max_bytes)
     if args.action == "path":
         print(store.root)
         return 0
@@ -266,10 +368,25 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"removed {removed} cached result(s) from {store.root}")
         return 0
-    entries = store.entries()
+    if args.action == "prune":
+        if store.max_bytes <= 0:
+            print("error: prune needs a size cap "
+                  "(--max-bytes or REPRO_CACHE_MAX_BYTES)", file=sys.stderr)
+            return 2
+        removed = store.prune()
+        stats = store.stats()
+        print(f"evicted {removed} entr{'y' if removed == 1 else 'ies'} from "
+              f"{store.root} ({stats['size_bytes']} bytes kept, "
+              f"cap {store.max_bytes})")
+        return 0
+    stats = store.stats()
     print(f"cache dir: {store.root}")
-    print(f"entries:   {len(entries)}")
-    print(f"size:      {store.size_bytes() / 1024:.1f} KiB")
+    print(f"entries:   {stats['entries']}")
+    print(f"size:      {stats['size_bytes'] / 1024:.1f} KiB")
+    cap = f"{stats['max_bytes']} bytes" if stats["max_bytes"] else "unbounded"
+    print(f"cap:       {cap}")
+    print(f"lifetime:  {stats['hits']} hit(s), {stats['misses']} miss(es), "
+          f"{stats['puts']} put(s), {stats['evictions']} eviction(s)")
     return 0
 
 
@@ -321,10 +438,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_run_options(p_fig)
     p_fig.set_defaults(func=cmd_figures)
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_worker = sub.add_parser(
+        "worker", help="serve sweep cells to a distributed coordinator"
+    )
+    mode = p_worker.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--connect", default=None, metavar="HOST:PORT",
+                      help="dial a coordinator started with --listen")
+    mode.add_argument("--listen", default=None, metavar="[HOST:]PORT",
+                      help="bind and wait for coordinators (--workers side); "
+                           "port 0 picks a free port, printed on stdout")
+    p_worker.add_argument("--cache-dir", default=None,
+                          help="share this result cache directory")
+    p_worker.add_argument("--cache-max-bytes", type=int, default=None)
+    p_worker.add_argument("--no-cache", action="store_true",
+                          help="run every cell, even if cached")
+    p_worker.add_argument("--once", action="store_true",
+                          help="exit after serving one coordinator connection")
+    p_worker.add_argument("--retry", type=int, default=40,
+                          help="--connect attempts before giving up")
+    p_worker.add_argument("--retry-delay", type=float, default=0.25)
+    p_worker.set_defaults(func=cmd_worker)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect, bound, or clear the result cache"
+    )
     p_cache.add_argument("action", nargs="?", default="stats",
-                         choices=["stats", "clear", "path"])
+                         choices=["stats", "prune", "clear", "path"])
     p_cache.add_argument("--cache-dir", default=None)
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="size cap for stats display and prune "
+                              "(default REPRO_CACHE_MAX_BYTES)")
     p_cache.set_defaults(func=cmd_cache)
 
     return parser

@@ -1,10 +1,19 @@
 """Per-figure experiment drivers (one module per evaluation section).
 
 All drivers route their independent simulation cells through
-:mod:`repro.experiments.orchestrator`, which provides process-pool
-parallelism (``jobs=N``) and an on-disk result cache.
+:mod:`repro.experiments.orchestrator`, which provides pluggable
+execution backends (``backend=``: process pool, thread pool, or
+distributed TCP workers -- see :mod:`repro.experiments.backends`) and a
+size-capped, concurrency-safe on-disk result cache.
 """
 
+from repro.experiments.backends import (
+    DistributedBackend,
+    LocalProcessBackend,
+    SweepBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.experiments.orchestrator import (
     ResultCache,
     SweepJob,
@@ -15,9 +24,14 @@ from repro.experiments.orchestrator import (
 from repro.experiments.runner import RunResult, run_workload
 
 __all__ = [
+    "DistributedBackend",
+    "LocalProcessBackend",
     "ResultCache",
     "RunResult",
+    "SweepBackend",
     "SweepJob",
+    "ThreadBackend",
+    "resolve_backend",
     "run_pairs",
     "run_sweep",
     "run_workload",

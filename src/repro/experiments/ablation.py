@@ -26,6 +26,7 @@ def prefetch_ablation(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Base-CSSD with and without next-page prefetch.
 
@@ -40,7 +41,7 @@ def prefetch_ablation(
                 wl, "Base-CSSD", records_per_thread=records,
                 ssd_overrides={"prefetch_depth": depth},
             ))
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
         with_pf = next(sweep).stats
@@ -60,6 +61,7 @@ def promotion_threshold_sweep(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[int, Dict[str, float]]:
     """How the §III-C hotness threshold trades promotion precision
     against churn: too low promotes lukewarm pages (migration overhead),
@@ -72,7 +74,7 @@ def promotion_threshold_sweep(
         )
         for threshold in thresholds
     ]
-    sweep = run_sweep(specs, jobs=jobs, cache=cache)
+    sweep = run_sweep(specs, jobs=jobs, cache=cache, backend=backend)
     rows: Dict[int, Dict[str, float]] = {}
     for threshold, result in zip(thresholds, sweep):
         stats = result.stats
@@ -91,6 +93,7 @@ def persistence_interval_sweep(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[float, Dict[str, float]]:
     """The baseline's dirty-flush interval: tighter durability means more
     flash programs (0 disables the flush entirely -- the volatile-cache
@@ -103,7 +106,7 @@ def persistence_interval_sweep(
         )
         for interval in intervals_us
     ]
-    sweep = run_sweep(specs, jobs=jobs, cache=cache)
+    sweep = run_sweep(specs, jobs=jobs, cache=cache, backend=backend)
     rows: Dict[float, Dict[str, float]] = {}
     for interval, result in zip(intervals_us, sweep):
         stats = result.stats

@@ -1,0 +1,481 @@
+"""Pluggable sweep execution backends (local / threaded / distributed).
+
+:func:`~repro.experiments.orchestrator.run_sweep` separates *what* to
+simulate (the deduplicated list of pending cells) from *where* it runs.
+A backend receives the pending ``(key, SweepJob)`` cells plus a
+``finish(key, result)`` callback and must invoke the callback exactly
+once per cell, always from the caller's thread:
+
+* :class:`LocalProcessBackend` -- a ``ProcessPoolExecutor`` over
+  ``jobs`` workers; with one worker (or one cell) it runs in-process.
+  This is the default and reproduces the pre-backend behaviour exactly.
+* :class:`ThreadBackend` -- a ``ThreadPoolExecutor``.  The simulator is
+  pure Python so threads do not add CPU parallelism, but they skip
+  process spawn/import costs, which wins for tiny smoke sweeps.
+* :class:`DistributedBackend` -- fans cells out to worker processes
+  (possibly on other hosts) over a newline-delimited TCP/JSON protocol.
+  Workers are started with ``python -m repro worker`` (see
+  :mod:`repro.experiments.worker`) and either *listen* for the
+  coordinator to dial them (``--listen``, coordinator passes
+  ``workers=[...]``) or *dial in* to a listening coordinator
+  (``--connect``, coordinator passes ``listen=...``).
+
+Every backend funnels results through ``RunResult.to_dict()`` /
+``from_dict()`` -- the same lossless serialization the result cache
+uses -- so results are byte-identical no matter where a cell ran.
+
+Environment knobs: ``REPRO_BENCH_BACKEND`` selects the default backend
+(``local``, ``thread``, ``serial``, or ``distributed[:HOST:PORT,...]``)
+and ``REPRO_BENCH_WORKERS`` supplies distributed worker addresses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.runner import RunResult, default_records
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is runtime-lazy
+    from repro.experiments.orchestrator import SweepJob
+
+JOBS_ENV = "REPRO_JOBS"
+BACKEND_ENV = "REPRO_BENCH_BACKEND"
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+#: Bumped on incompatible wire changes; coordinator and workers refuse
+#: to talk across versions instead of desynchronizing mid-sweep.
+PROTOCOL_VERSION = 1
+
+PendingCell = Tuple[str, "SweepJob"]
+FinishFn = Callable[[str, RunResult], None]
+BackendLike = Union["SweepBackend", str, None]
+
+
+def default_jobs() -> int:
+    """Worker count when a sweep does not specify one (REPRO_JOBS, min 1)."""
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol helpers (shared by DistributedBackend and the worker)
+# ---------------------------------------------------------------------------
+
+
+def parse_address(spec: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) to a ``(host, port)`` pair."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return (host or "127.0.0.1", int(port))
+    text = str(spec).strip()
+    host, _, port = text.rpartition(":")
+    if not port or not port.isdigit():
+        raise ValueError(f"bad worker address {spec!r} (expected HOST:PORT)")
+    return (host or "127.0.0.1", int(port))
+
+
+def send_msg(sock: socket.socket, payload: Dict[str, object]) -> None:
+    """One protocol message: compact JSON, newline-terminated."""
+    sock.sendall(json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n")
+
+
+def recv_msg(rfile) -> Optional[Dict[str, object]]:
+    """The next message from a socket's text file wrapper, or None on EOF."""
+    line = rfile.readline()
+    if not line:
+        return None
+    return json.loads(line)
+
+
+def job_to_wire(job: "SweepJob") -> Dict[str, object]:
+    """JSON-safe form of a job; :func:`job_from_wire` reverses it.
+
+    Environment-dependent defaults are resolved *here*, on the
+    coordinator: a worker host with a different ``REPRO_RECORDS`` must
+    never change what a shipped cell simulates (it would silently break
+    the byte-identical guarantee and poison the shared cache under the
+    coordinator's key).
+    """
+    params = job.kwargs()
+    params.setdefault("records_per_thread", default_records())
+    return {
+        "workload": job.workload,
+        "variant": job.variant,
+        "params": params,
+    }
+
+
+def job_from_wire(data: Dict[str, object]) -> "SweepJob":
+    from repro.experiments.orchestrator import SweepJob
+
+    return SweepJob.make(data["workload"], data["variant"], **data["params"])
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class SweepBackend:
+    """Executes pending sweep cells.
+
+    Subclasses implement :meth:`run`, calling ``finish(key, result)``
+    exactly once per pending cell *from the calling thread* (so cache
+    writes and progress callbacks need no locking upstream).
+    """
+
+    name = "abstract"
+
+    def run(self, pending: Sequence[PendingCell], finish: FinishFn) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def close(self) -> None:
+        """Release any long-lived resources (listening sockets)."""
+
+    def __enter__(self) -> "SweepBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _drain_pool(pool, pending: Sequence[PendingCell], finish: FinishFn) -> None:
+    """Submit every cell to an executor, finishing them as they land."""
+    from repro.experiments import orchestrator as orch
+
+    futures = {
+        pool.submit(orch._execute_job_dict, job): key for key, job in pending
+    }
+    not_done = set(futures)
+    while not_done:
+        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+        for future in done:
+            finish(futures[future], RunResult.from_dict(future.result()))
+
+
+class LocalProcessBackend(SweepBackend):
+    """Today's default: a process pool on this host (serial when jobs=1)."""
+
+    name = "local"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = max(1, int(jobs if jobs is not None else default_jobs()))
+
+    def describe(self) -> str:
+        return f"local[jobs={self.jobs}]"
+
+    def run(self, pending: Sequence[PendingCell], finish: FinishFn) -> None:
+        from repro.experiments import orchestrator as orch
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for key, job in pending:
+                finish(key, orch._execute_job(job))
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            _drain_pool(pool, pending, finish)
+
+
+class ThreadBackend(SweepBackend):
+    """A thread pool: no spawn/import cost, ideal for tiny smoke sweeps.
+
+    Each job still round-trips through ``to_dict``/``from_dict`` so the
+    result invariants match the process and distributed paths.
+    """
+
+    name = "thread"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = max(1, int(jobs if jobs is not None else default_jobs()))
+
+    def describe(self) -> str:
+        return f"thread[jobs={self.jobs}]"
+
+    def run(self, pending: Sequence[PendingCell], finish: FinishFn) -> None:
+        with ThreadPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            _drain_pool(pool, pending, finish)
+
+
+class DistributedBackend(SweepBackend):
+    """Fan cells out to ``python -m repro worker`` processes over TCP.
+
+    Two connection topologies, usable together:
+
+    * ``workers=["host:port", ...]`` -- the coordinator dials workers
+      that were started with ``--listen``;
+    * ``listen="host:port"`` -- the coordinator binds a port (0 picks a
+      free one; see :attr:`address`) and workers dial in with
+      ``--connect``.
+
+    One connection thread per worker keeps a single cell in flight on
+    that worker; a connection that dies mid-cell has its cell requeued
+    for the surviving workers.  A cell that *fails on* a worker (the
+    worker replied with an error) raises, exactly like a crashed pool
+    worker would.  All ``finish`` callbacks happen on the caller's
+    thread.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        workers: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
+        listen: Optional[Union[str, Tuple[str, int]]] = None,
+        connect_timeout: float = 30.0,
+    ) -> None:
+        if not workers and listen is None:
+            raise ValueError(
+                "distributed backend needs worker addresses "
+                "(--workers HOST:PORT,... or REPRO_BENCH_WORKERS) "
+                "or a listen address for workers to dial in to"
+            )
+        self.workers = [parse_address(w) for w in (workers or [])]
+        self.connect_timeout = connect_timeout
+        self._listener: Optional[socket.socket] = None
+        if listen is not None:
+            self._listener = socket.create_server(parse_address(listen))
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The (host, port) workers should ``--connect`` to, if listening."""
+        return self._listener.getsockname()[:2] if self._listener else None
+
+    def describe(self) -> str:
+        parts = [f"{h}:{p}" for h, p in self.workers]
+        if self.address:
+            parts.append(f"listen={self.address[0]}:{self.address[1]}")
+        return f"distributed[{','.join(parts)}]"
+
+    def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    # -- coordinator internals ---------------------------------------------
+
+    def _serve_connection(self, sock, label, job_q, events) -> None:
+        """One worker connection: feed it cells until the queue drains."""
+        current: Optional[PendingCell] = None
+        try:
+            rfile = sock.makefile("r", encoding="utf-8")
+            sock.settimeout(self.connect_timeout)
+            hello = recv_msg(rfile)
+            if not hello or hello.get("type") != "hello":
+                raise ConnectionError(f"worker {label} sent no hello")
+            if hello.get("version") != PROTOCOL_VERSION:
+                raise ConnectionError(
+                    f"worker {label} speaks protocol "
+                    f"{hello.get('version')!r}, not {PROTOCOL_VERSION}"
+                )
+            sock.settimeout(None)  # cells may legitimately take long
+            seq = 0
+            while True:
+                try:
+                    current = job_q.get_nowait()
+                except queue.Empty:
+                    send_msg(sock, {"type": "bye"})
+                    break
+                key, job = current
+                seq += 1
+                message = {"type": "job", "id": seq, "key": key}
+                message.update(job_to_wire(job))
+                send_msg(sock, message)
+                reply = recv_msg(rfile)
+                if reply is None:
+                    raise ConnectionError(f"worker {label} closed mid-cell")
+                if reply.get("ok"):
+                    events.put(("ok", key, reply["result"]))
+                else:
+                    events.put(("fail", key, str(reply.get("error", "?"))))
+                current = None
+        except Exception as exc:  # noqa: BLE001 - reported via the event queue
+            if current is not None:
+                job_q.put(current)  # let a surviving worker pick it up
+            events.put(("down", label, repr(exc)))
+            return
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        events.put(("done", label))
+
+    def run(self, pending: Sequence[PendingCell], finish: FinishFn) -> None:
+        job_q: "queue.Queue[PendingCell]" = queue.Queue()
+        for cell in pending:
+            job_q.put(cell)
+        events: "queue.Queue[tuple]" = queue.Queue()
+        threads: List[threading.Thread] = []
+        stop = threading.Event()
+
+        def start_conn(sock: socket.socket, label: str) -> None:
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(sock, label, job_q, events),
+                name=f"sweep-conn-{label}",
+                daemon=True,
+            )
+            # Start before publishing: the run loop and the final join
+            # must never see a thread that is not yet startable/joinable.
+            thread.start()
+            threads.append(thread)
+
+        def accept_loop() -> None:
+            assert self._listener is not None
+            self._listener.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    sock, peer = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                start_conn(sock, "%s:%d" % peer[:2])
+
+        accept_thread: Optional[threading.Thread] = None
+        try:
+            for host, port in self.workers:
+                sock = socket.create_connection(
+                    (host, port), timeout=self.connect_timeout
+                )
+                start_conn(sock, f"{host}:{port}")
+            if self._listener is not None:
+                accept_thread = threading.Thread(
+                    target=accept_loop, name="sweep-accept", daemon=True
+                )
+                accept_thread.start()
+
+            remaining = {key for key, _ in pending}
+            ended = 0
+            down_reasons: List[str] = []
+            # A dead connection's cell is requeued, but the survivors may
+            # already have drained the queue and been sent "bye" -- so in
+            # dial mode, re-dial the configured workers (a listening
+            # worker accepts a fresh connection) a bounded number of
+            # times before giving up.
+            redial_budget = 2 * len(self.workers)
+            while remaining:
+                try:
+                    event = events.get(timeout=0.5)
+                except queue.Empty:
+                    if accept_thread is not None:
+                        continue  # a listener can still bring new workers
+                    if ended < len(threads) or any(t.is_alive() for t in threads):
+                        continue
+                    revived = False
+                    while self.workers and redial_budget > 0 and not revived:
+                        for host, port in self.workers:
+                            if redial_budget <= 0:
+                                break
+                            redial_budget -= 1
+                            try:
+                                sock = socket.create_connection(
+                                    (host, port), timeout=self.connect_timeout
+                                )
+                            except OSError as exc:
+                                down_reasons.append(
+                                    f"redial {host}:{port}: {exc}"
+                                )
+                                continue
+                            start_conn(sock, f"{host}:{port}")
+                            revived = True
+                        break
+                    if revived:
+                        continue
+                    detail = (
+                        f" ({'; '.join(down_reasons[-5:])})"
+                        if down_reasons else ""
+                    )
+                    raise RuntimeError(
+                        f"all distributed workers exited with "
+                        f"{len(remaining)} cell(s) unfinished{detail}"
+                    )
+                kind = event[0]
+                if kind == "ok":
+                    _, key, payload = event
+                    if key in remaining:
+                        remaining.discard(key)
+                        finish(key, RunResult.from_dict(payload))
+                elif kind == "fail":
+                    _, key, error = event
+                    raise RuntimeError(f"worker failed on cell {key}: {error}")
+                elif kind == "down":
+                    ended += 1
+                    down_reasons.append(f"{event[1]}: {event[2]}")
+                else:  # "done"
+                    ended += 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=2.0)
+            if accept_thread is not None:
+                accept_thread.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+# ---------------------------------------------------------------------------
+
+_BACKEND_NAMES = ("local", "thread", "serial", "distributed")
+
+
+def resolve_backend(
+    backend: BackendLike = None,
+    jobs: Optional[int] = None,
+    workers: Optional[Sequence[str]] = None,
+) -> SweepBackend:
+    """Normalise a backend argument to a :class:`SweepBackend`.
+
+    ``None`` consults ``REPRO_BENCH_BACKEND`` (default ``local``, or
+    ``distributed`` when ``workers`` are supplied).  Strings accept
+    ``local``/``process``, ``thread``/``threads``, ``serial`` (local
+    with one worker), and ``distributed[:HOST:PORT,...]``; distributed
+    worker addresses come from the spec suffix, the ``workers``
+    argument, or ``REPRO_BENCH_WORKERS``.
+    """
+    if isinstance(backend, SweepBackend):
+        return backend
+    if backend is None:
+        # An explicit worker list beats the ambient env default: a user
+        # who typed --workers means distributed, whatever the shell has
+        # REPRO_BENCH_BACKEND set to.
+        if workers:
+            spec = "distributed"
+        else:
+            spec = os.environ.get(BACKEND_ENV, "").strip() or "local"
+    else:
+        spec = str(backend).strip()
+    name, _, rest = spec.partition(":")
+    name = name.lower()
+    if name in ("local", "process", "processes"):
+        return LocalProcessBackend(jobs)
+    if name in ("thread", "threads"):
+        return ThreadBackend(jobs)
+    if name == "serial":
+        return LocalProcessBackend(1)
+    if name == "distributed":
+        addresses = list(workers or [])
+        if not addresses and rest:
+            addresses = [part for part in rest.split(",") if part]
+        if not addresses:
+            env_workers = os.environ.get(WORKERS_ENV, "")
+            addresses = [part for part in env_workers.split(",") if part.strip()]
+        return DistributedBackend(workers=addresses)
+    raise ValueError(
+        f"unknown sweep backend {spec!r} (expected one of {', '.join(_BACKEND_NAMES)})"
+    )

@@ -63,6 +63,7 @@ def cost_effectiveness(
     model: Optional[CostModel] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, object]:
     """Measured performance-per-dollar of SkyByte-Full vs DRAM-Only.
 
@@ -77,6 +78,7 @@ def cost_effectiveness(
                       records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     ))
     fractions: Dict[str, float] = {}
     product = 1.0

@@ -25,6 +25,7 @@ def fig9_threshold_sweep(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[float, float]]:
     """Fig. 9: normalized execution time vs trigger threshold.
 
@@ -42,7 +43,7 @@ def fig9_threshold_sweep(
         for wl in workloads
         for threshold in thresholds_us
     ]
-    results = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    results = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
     rows: Dict[str, Dict[float, float]] = {}
     for wl in workloads:
         base_ipns = None
@@ -61,6 +62,7 @@ def fig10_scheduling_policies(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 10: execution time and its breakdown under RR/Random/CFS.
 
@@ -77,7 +79,7 @@ def fig10_scheduling_policies(
         for wl in workloads
         for policy in FIG10_POLICIES
     ]
-    results = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    results = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
         rr_ipns = None

@@ -24,6 +24,7 @@ def fig23_migration_mechanisms(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 23: normalized execution time, SkyByte-C = 1.0 (lower is
     better)."""
@@ -34,6 +35,7 @@ def fig23_migration_mechanisms(
         sweep_product(workloads, variants, records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:

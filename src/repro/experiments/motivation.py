@@ -23,6 +23,7 @@ def fig2_dram_vs_cssd(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 2: normalized execution time of Base-CSSD over DRAM.
 
@@ -36,6 +37,7 @@ def fig2_dram_vs_cssd(
                       records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
@@ -54,6 +56,7 @@ def fig3_latency_distribution(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, object]]:
     """Fig. 3: off-chip latency distribution, DRAM vs CXL-SSD.
 
@@ -70,6 +73,7 @@ def fig3_latency_distribution(
                       records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     ))
     rows: Dict[str, Dict[str, object]] = {}
     for wl in workloads:
@@ -92,6 +96,7 @@ def fig4_boundedness(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 4: memory- vs compute-bounded cycle fractions.
 
@@ -105,6 +110,7 @@ def fig4_boundedness(
                       records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:

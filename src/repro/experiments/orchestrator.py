@@ -7,35 +7,51 @@ go through:
 
 * :class:`SweepJob` -- a hashable, picklable description of one
   :func:`~repro.experiments.runner.run_workload` call;
-* :func:`run_sweep` -- executes a list of jobs, fanning out over a
-  ``ProcessPoolExecutor`` (``jobs`` workers) while preserving input
+* :func:`run_sweep` -- executes a list of jobs on a pluggable
+  :class:`~repro.experiments.backends.SweepBackend` (process pool,
+  thread pool, or distributed TCP workers) while preserving input
   order, deduplicating identical cells, and consulting the result cache;
-* :class:`ResultCache` -- a JSON-per-result cache under ``.repro_cache/``
+* :class:`ResultCache` -- a JSON-per-result store under ``.repro_cache/``
   keyed by a stable hash of the fully *resolved* simulation config plus
   workload, variant, trace length and time limit, so a re-run only
-  simulates missing cells and a config change can never serve stale data.
+  simulates missing cells and a config change can never serve stale
+  data.  The store has a real storage layer: an ``index.json`` with
+  LRU bookkeeping, an optional size cap with least-recently-used
+  eviction, lifetime hit/miss/evict counters, and advisory file locks
+  so many processes (or distributed workers on a shared filesystem)
+  can use one cache directory concurrently.
 
 Determinism: each job builds its own :class:`~repro.sim.system.System`
 from its own seeds, so a parallel sweep is numerically identical to the
 serial loop it replaces -- worker results round-trip through
 ``RunResult.to_dict()`` (lossless for finite floats) whether they come
-from a pool worker, the cache, or an in-process run.
+from a pool worker, a thread, a remote worker, the cache, or an
+in-process run.
 
-Environment knobs: ``REPRO_JOBS`` (default worker count), ``REPRO_CACHE``
+Environment knobs: ``REPRO_JOBS`` (default worker count),
+``REPRO_BENCH_BACKEND`` / ``REPRO_BENCH_WORKERS`` (default backend, see
+:func:`repro.experiments.backends.resolve_backend`), ``REPRO_CACHE``
 (truthy enables caching when callers do not say), ``REPRO_CACHE_DIR``
-(cache location, default ``.repro_cache``).
+(cache location, default ``.repro_cache``), ``REPRO_CACHE_MAX_BYTES``
+(size cap; 0 or unset means unbounded).
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+try:  # advisory file locking; absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only dependency
+    fcntl = None
+
+from repro.experiments.backends import BackendLike, default_jobs, resolve_backend
 from repro.experiments.runner import DEFAULT_SCALE, RunResult, resolve_run, run_workload
 from repro.variants import canonical_variant
 from repro.workloads.suites import canonical_workload
@@ -43,12 +59,17 @@ from repro.workloads.suites import canonical_workload
 JOBS_ENV = "REPRO_JOBS"
 CACHE_ENV = "REPRO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Bump when the serialized result format or simulator semantics change
 #: incompatibly; old cache entries then miss instead of deserializing
 #: garbage.
 CACHE_VERSION = 1
+
+#: On-disk index format version (bumped independently of CACHE_VERSION:
+#: the index is bookkeeping, the entries are data).
+INDEX_VERSION = 1
 
 _TRUTHY = {"1", "true", "yes", "on"}
 
@@ -57,12 +78,12 @@ _TRUTHY = {"1", "true", "yes", "on"}
 JobLike = Union["SweepJob", Tuple[str, str]]
 
 
-def default_jobs() -> int:
-    """Worker count when a sweep does not specify one (REPRO_JOBS, min 1)."""
+def default_cache_max_bytes() -> int:
+    """The size cap from REPRO_CACHE_MAX_BYTES (0 = unbounded)."""
     try:
-        return max(1, int(os.environ.get(JOBS_ENV, "1")))
+        return max(0, int(os.environ.get(CACHE_MAX_BYTES_ENV, "0") or "0"))
     except ValueError:
-        return 1
+        return 0
 
 
 @dataclass(frozen=True)
@@ -138,37 +159,180 @@ def sweep_product(
 
 
 class ResultCache:
-    """On-disk result cache: one JSON file per simulated cell.
+    """On-disk result store: one JSON file per simulated cell.
 
-    Layout: ``<root>/<key>.json`` where ``<root>`` defaults to
+    Layout: ``<root>/<key>.json`` data entries plus ``<root>/index.json``
+    (LRU bookkeeping and lifetime stats) and ``<root>/index.lock`` (an
+    advisory ``flock`` serialising index updates across processes and
+    hosts sharing the directory).  ``<root>`` defaults to
     ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``) and ``<key>``
-    is :meth:`SweepJob.key`.  Files hold ``RunResult.to_dict()`` output
-    and are written atomically (tmp file + rename), so a sweep killed
-    mid-write never leaves a corrupt entry -- unreadable entries are
-    treated as misses.  ``hits``/``misses`` count lookups since this
-    object was created; :func:`run_sweep` reports them.
+    is :meth:`SweepJob.key`.
+
+    Data files hold ``RunResult.to_dict()`` output and are written
+    atomically (tmp file + rename), so a sweep killed mid-write never
+    leaves a corrupt entry -- unreadable entries are treated as misses.
+    The index is rewritten atomically under the lock, so concurrent
+    writers can interleave but never corrupt it; a lost or corrupt index
+    is rebuilt from the data files on the next reconcile.
+
+    ``max_bytes`` (default ``REPRO_CACHE_MAX_BYTES``; 0 = unbounded)
+    caps the total data size: every :meth:`put` evicts
+    least-recently-used entries until the cap holds.  ``hits`` /
+    ``misses`` / ``evictions`` count this object's lifetime;
+    :meth:`stats` additionally reports the directory-wide lifetime
+    counters kept in the index.
     """
 
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+    INDEX_NAME = "index.json"
+    LOCK_NAME = "index.lock"
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.root = Path(root)
+        if max_bytes is None:
+            max_bytes = default_cache_max_bytes()
+        self.max_bytes = max(0, int(max_bytes))
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    # -- index plumbing ----------------------------------------------------
+
+    @contextlib.contextmanager
+    def _lock(self):
+        """Exclusive advisory lock on the cache directory's index."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        handle = open(self.root / self.LOCK_NAME, "a+")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            handle.close()
+
+    @staticmethod
+    def _fresh_index() -> Dict[str, object]:
+        return {
+            "version": INDEX_VERSION,
+            "tick": 0,
+            "stats": {"hits": 0, "misses": 0, "evictions": 0, "puts": 0},
+            "entries": {},
+        }
+
+    def _read_index(self) -> Dict[str, object]:
+        """The on-disk index, or a fresh one if absent/corrupt."""
+        try:
+            with open(self.root / self.INDEX_NAME, "r", encoding="utf-8") as fh:
+                index = json.load(fh)
+            if index.get("version") != INDEX_VERSION:
+                raise ValueError("index version mismatch")
+            index["tick"] = int(index["tick"])
+            for field in ("hits", "misses", "evictions", "puts"):
+                index["stats"][field] = int(index["stats"].get(field, 0))
+            if not isinstance(index["entries"], dict):
+                raise ValueError("bad entries table")
+            return index
+        except (OSError, ValueError, KeyError, TypeError):
+            return self._fresh_index()
+
+    def _write_index(self, index: Dict[str, object]) -> None:
+        final = self.root / self.INDEX_NAME
+        tmp = final.with_name(final.name + f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, separators=(",", ":"))
+        os.replace(tmp, final)
+
+    def _data_files(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p for p in self.root.glob("*.json") if p.name != self.INDEX_NAME
+        )
+
+    def _reconcile(self, index: Dict[str, object]) -> None:
+        """Make the index agree with the directory (call under the lock).
+
+        Entries whose data file vanished are dropped; stray data files
+        (e.g. written by a pre-index version of this cache) are adopted
+        at tick 0, i.e. first in line for eviction.
+        """
+        entries: Dict[str, Dict[str, int]] = index["entries"]
+        for key in list(entries):
+            if not self.path_for(key).is_file():
+                del entries[key]
+        for path in self._data_files():
+            key = path.stem
+            if key not in entries:
+                entries[key] = {"size": path.stat().st_size, "tick": 0}
+
+    def _evict(self, index: Dict[str, object], max_bytes: int,
+               protect: Tuple[str, ...] = ()) -> int:
+        """Drop LRU entries until the cap holds (call under the lock)."""
+        if max_bytes <= 0:
+            return 0
+        entries: Dict[str, Dict[str, int]] = index["entries"]
+        total = sum(entry["size"] for entry in entries.values())
+        victims: List[str] = []
+        for key in sorted(entries, key=lambda k: (entries[k]["tick"], k)):
+            if total <= max_bytes:
+                break
+            if key in protect:
+                continue
+            total -= entries[key]["size"]
+            victims.append(key)
+        for key in victims:
+            del entries[key]
+            try:
+                self.path_for(key).unlink()
+            except OSError:
+                pass
+        index["stats"]["evictions"] += len(victims)
+        self.evictions += len(victims)
+        return len(victims)
+
+    def _touch(self, index: Dict[str, object], key: str, size: int) -> None:
+        index["tick"] += 1
+        index["entries"][key] = {"size": size, "tick": index["tick"]}
+
+    # -- public API --------------------------------------------------------
+
     def get(self, key: str) -> Optional[RunResult]:
         """The cached result for ``key``, or None (counting hit/miss)."""
+        path = self.path_for(key)
         try:
-            with open(self.path_for(key), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
             result = RunResult.from_dict(data)
+            size = path.stat().st_size
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            # Counter updates pay the directory lock deliberately: the
+            # lifetime stats are exact across processes, and the cost is
+            # per simulation cell -- orders of magnitude cheaper than
+            # the cell itself.  A miss on a not-yet-created cache skips
+            # even that (no directory gets conjured just to count it).
+            if self.root.is_dir():
+                with self._lock():
+                    index = self._read_index()
+                    index["stats"]["misses"] += 1
+                    self._write_index(index)
             return None
         self.hits += 1
+        with self._lock():
+            index = self._read_index()
+            index["stats"]["hits"] += 1
+            self._touch(index, key, size)  # LRU: a hit refreshes recency
+            self._write_index(index)
         return result
 
     def put(self, key: str, result: RunResult) -> None:
@@ -178,24 +342,68 @@ class ResultCache:
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh, separators=(",", ":"))
         os.replace(tmp, final)
+        with self._lock():
+            index = self._read_index()
+            index["stats"]["puts"] += 1
+            self._touch(index, key, final.stat().st_size)
+            # Never evict what was just written, even if it alone busts
+            # the cap -- caching the current sweep beats strict caps.
+            self._evict(index, self.max_bytes, protect=(key,))
+            self._write_index(index)
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict LRU entries until the cache fits ``max_bytes``.
+
+        Defaults to this cache's configured cap; returns the number of
+        entries removed (0 when unbounded).
+        """
+        target = self.max_bytes if max_bytes is None else max(0, int(max_bytes))
+        if target <= 0:
+            return 0
+        with self._lock():
+            index = self._read_index()
+            self._reconcile(index)
+            removed = self._evict(index, target)
+            self._write_index(index)
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        """Directory-wide cache statistics (reconciled under the lock)."""
+        with self._lock():
+            index = self._read_index()
+            self._reconcile(index)
+            self._write_index(index)
+        entries: Dict[str, Dict[str, int]] = index["entries"]
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "size_bytes": sum(entry["size"] for entry in entries.values()),
+            "max_bytes": self.max_bytes,
+            "hits": index["stats"]["hits"],
+            "misses": index["stats"]["misses"],
+            "evictions": index["stats"]["evictions"],
+            "puts": index["stats"]["puts"],
+        }
 
     def entries(self) -> List[Path]:
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*.json"))
+        return self._data_files()
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.entries())
+        return sum(p.stat().st_size for p in self._data_files())
 
     def clear(self) -> int:
-        """Delete all cached results; returns the number removed."""
-        removed = 0
-        for path in self.entries():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        """Delete all cached results (and reset the index); returns count."""
+        if not self.root.is_dir():
+            return 0
+        with self._lock():
+            removed = 0
+            for path in self._data_files():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            self._write_index(self._fresh_index())
         return removed
 
 
@@ -232,11 +440,12 @@ def _execute_job(job: SweepJob) -> RunResult:
 
 
 def _execute_job_dict(job: SweepJob) -> Dict[str, object]:
-    """Pool-worker entry point: run one job, return its dict form.
+    """Backend entry point: run one job, return its dict form.
 
-    Dicts (not live RunResults) cross the process boundary so the
-    parent reconstructs results through exactly the same path the cache
-    uses -- one serialization format, one set of invariants.
+    Dicts (not live RunResults) cross the process/thread/network
+    boundary so every backend reconstructs results through exactly the
+    same path the cache uses -- one serialization format, one set of
+    invariants.
     """
     return _execute_job(job).to_dict()
 
@@ -246,17 +455,23 @@ def run_sweep(
     jobs: Optional[int] = None,
     cache: Union[ResultCache, bool, str, Path, None] = None,
     progress: Optional[Callable[[SweepJob, str], None]] = None,
+    backend: BackendLike = None,
 ) -> List[RunResult]:
     """Run a batch of simulation cells, in parallel, through the cache.
 
     Args:
         jobs_or_pairs: :class:`SweepJob` objects or ``(workload,
             variant)`` pairs; results come back in the same order.
-        jobs: worker processes (1 = run in-process; default
-            ``REPRO_JOBS`` or 1).
+        jobs: worker count for the local/thread backends (1 = run
+            in-process; default ``REPRO_JOBS`` or 1).
         cache: see :func:`resolve_cache`.
         progress: optional callback invoked per completed cell with the
             job and its source (``"cache"`` or ``"run"``).
+        backend: a :class:`~repro.experiments.backends.SweepBackend`, a
+            backend name (``local``/``thread``/``serial``/
+            ``distributed``), or None for the ``REPRO_BENCH_BACKEND``
+            default; see
+            :func:`~repro.experiments.backends.resolve_backend`.
 
     Identical jobs are simulated once and fanned back out to every
     position that requested them.
@@ -266,6 +481,7 @@ def run_sweep(
         jobs = default_jobs()
     jobs = max(1, int(jobs))
     store = resolve_cache(cache)
+    executor = resolve_backend(backend, jobs=jobs)
 
     results: List[Optional[RunResult]] = [None] * len(specs)
     # Deduplicate: one simulation per distinct cache key, results shared.
@@ -299,20 +515,8 @@ def run_sweep(
         if progress is not None:
             progress(job_for_key[key], "run")
 
-    if jobs == 1 or len(pending) <= 1:
-        for key in pending:
-            _finish(key, _execute_job(job_for_key[key]))
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute_job_dict, job_for_key[key]): key
-                for key in pending
-            }
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    _finish(futures[future], RunResult.from_dict(future.result()))
+    if pending:
+        executor.run([(key, job_for_key[key]) for key in pending], _finish)
 
     return results  # type: ignore[return-value]  # every slot is filled
 
@@ -323,9 +527,11 @@ def run_pairs(
     jobs: Optional[int] = None,
     cache: Union[ResultCache, bool, str, Path, None] = None,
     progress: Optional[Callable[[SweepJob, str], None]] = None,
+    backend: BackendLike = None,
     **params: object,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Convenience grid sweep returning ``{(workload, variant): result}``."""
     specs = sweep_product(workloads, variants, **params)
-    out = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
+    out = run_sweep(specs, jobs=jobs, cache=cache, progress=progress,
+                    backend=backend)
     return {(r.workload, r.variant): r for r in out}

@@ -32,6 +32,7 @@ def fig14_overall(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 14: normalized execution time of every design vs Base-CSSD.
 
@@ -47,6 +48,7 @@ def fig14_overall(
         sweep_product(workloads, variants, records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     )
     rows: Dict[str, Dict[str, float]] = {}
     it = iter(sweep)
@@ -68,6 +70,7 @@ def fig15_thread_scaling(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Fig. 15: SkyByte-Full throughput and SSD bandwidth vs threads.
 
@@ -88,7 +91,7 @@ def fig15_thread_scaling(
             )
             for threads in thread_counts
         )
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
     rows: Dict[str, Dict[int, Dict[str, float]]] = {}
     for wl in workloads:
         baseline = next(sweep)
@@ -114,6 +117,7 @@ def fig16_request_breakdown(
     variant: str = "SkyByte-Full",
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 16: fraction of requests per class (H-R/W, S-R-H, S-R-M, S-W)
     under the full SkyByte design."""
@@ -123,6 +127,7 @@ def fig16_request_breakdown(
         sweep_product(workloads, [variant], records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     )
     return {wl: r.stats.request_breakdown() for wl, r in zip(workloads, sweep)}
 
@@ -133,6 +138,7 @@ def fig17_amat(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 17: AMAT and its component breakdown per design.
 
@@ -151,6 +157,7 @@ def fig17_amat(
         sweep_product(workloads, variants, records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     ))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
@@ -170,6 +177,7 @@ def fig18_write_traffic(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 18: flash write traffic normalized to Base-CSSD.
 
@@ -185,6 +193,7 @@ def fig18_write_traffic(
         sweep_product(workloads, variants, records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
@@ -205,6 +214,7 @@ def table3_flash_read_latency(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, float]:
     """Table III: average flash read latency (us) under SkyByte-WP.
 
@@ -218,6 +228,7 @@ def table3_flash_read_latency(
         sweep_product(workloads, ["SkyByte-WP"], records_per_thread=records),
         jobs=jobs,
         cache=cache,
+        backend=backend,
     )
     return {
         wl: r.stats.flash_read_latency.mean / 1000.0

@@ -36,6 +36,7 @@ def _log_size_sweep(
     records: int,
     jobs: Optional[int],
     cache: object,
+    backend: object,
 ) -> Dict[str, Dict[int, "object"]]:
     """One SkyByte-Full run per (workload, log size), as a nested dict."""
     specs = [
@@ -45,7 +46,7 @@ def _log_size_sweep(
         for wl in workloads
         for size in log_sizes
     ]
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
     return {wl: {size: next(sweep) for size in log_sizes} for wl in workloads}
 
 
@@ -55,6 +56,7 @@ def fig19_log_size_performance(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig. 19: SkyByte-Full execution time vs write-log size (total SSD
     DRAM fixed).  Normalized to the largest log.  Paper shape: a log of
@@ -62,7 +64,7 @@ def fig19_log_size_performance(
     workloads."""
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
-    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache)
+    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache, backend)
     rows: Dict[str, Dict[int, float]] = {}
     for wl in workloads:
         ref_ipns = None
@@ -82,13 +84,14 @@ def fig20_log_size_traffic(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig. 20: flash write traffic vs write-log size, normalized to the
     smallest log.  Paper shape: traffic falls steeply as the log (and so
     the coalescing window) grows."""
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
-    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache)
+    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache, backend)
     rows: Dict[str, Dict[int, float]] = {}
     for wl in workloads:
         ref_rate = None
@@ -110,6 +113,7 @@ def fig21_dram_size(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Fig. 21: execution time vs SSD DRAM cache size per design.
 
@@ -137,7 +141,7 @@ def fig21_dram_size(
             for variant in variants
             for size in sizes
         )
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
     rows: Dict[str, Dict[str, Dict[int, float]]] = {}
     for wl in workloads:
         ref = next(sweep)
@@ -160,6 +164,7 @@ def fig22_flash_latency(
     records: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: object = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 22: performance with ULL/ULL2/SLC/MLC flash.
 
@@ -192,7 +197,7 @@ def fig22_flash_latency(
                 )
                 for threads in thread_counts
             )
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
         ref = next(sweep)

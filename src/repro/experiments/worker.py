@@ -1,0 +1,173 @@
+"""TCP/JSON sweep worker: the remote half of the distributed backend.
+
+``python -m repro worker`` turns any host that can import this package
+into sweep capacity.  A worker speaks the newline-delimited JSON
+protocol of :mod:`repro.experiments.backends`: it announces itself with
+a ``hello``, then answers each ``job`` message with a ``result`` until
+the coordinator says ``bye`` (or the connection closes).
+
+Two ways to wire a worker to a coordinator:
+
+* ``--listen [HOST:]PORT`` -- bind and serve coordinator connections
+  one after another (the coordinator dials with ``--workers``);
+* ``--connect HOST:PORT`` -- dial a listening coordinator
+  (``DistributedBackend(listen=...)``), retrying briefly so workers can
+  be started before the sweep.  After each sweep the worker redials, so
+  a coordinator running several sweeps (``repro figures --listen ...``)
+  keeps its workers; when the coordinator closes its listener the
+  redial is refused and the worker exits cleanly.
+
+Workers execute cells through exactly the same
+:func:`~repro.experiments.orchestrator._execute_job` path as the local
+backends, so results are byte-identical wherever a cell runs.  Passing
+``cache`` (``--cache-dir``) lets workers on a shared filesystem consult
+and feed one content-addressed result cache; the cache's advisory file
+locking keeps concurrent workers safe.
+
+A cell that raises on the worker is reported back (``ok: false`` plus
+the traceback) and aborts the coordinator's sweep; the worker itself
+survives and keeps serving.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import time
+import traceback
+from typing import Optional, TextIO, Tuple
+
+from repro.experiments import backends
+from repro.experiments.orchestrator import ResultCache, _execute_job
+
+
+def serve_connection(
+    sock: socket.socket,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[int, int]:
+    """Serve one coordinator connection to completion.
+
+    Returns ``(cells_served, cells_answered_from_cache)``.
+    """
+    rfile = sock.makefile("r", encoding="utf-8")
+    backends.send_msg(
+        sock,
+        {"type": "hello", "version": backends.PROTOCOL_VERSION, "pid": os.getpid()},
+    )
+    served = 0
+    from_cache = 0
+    while True:
+        message = backends.recv_msg(rfile)
+        if message is None or message.get("type") == "bye":
+            return served, from_cache
+        reply = {"type": "result", "id": message.get("id")}
+        if message.get("type") != "job":
+            reply.update(
+                ok=False,
+                error=f"unexpected message type {message.get('type')!r}",
+            )
+            backends.send_msg(sock, reply)
+            continue
+        try:
+            job = backends.job_from_wire(message)
+            cached = cache.get(job.key()) if cache is not None else None
+            if cached is not None:
+                from_cache += 1
+                reply.update(ok=True, cached=True, result=cached.to_dict())
+            else:
+                result = _execute_job(job)
+                if cache is not None:
+                    cache.put(job.key(), result)
+                reply.update(ok=True, cached=False, result=result.to_dict())
+        except Exception:  # noqa: BLE001 - the coordinator decides what's fatal
+            reply.update(ok=False, error=traceback.format_exc())
+        served += 1
+        backends.send_msg(sock, reply)
+
+
+def run_worker(
+    connect: Optional[str] = None,
+    listen: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+    retries: int = 40,
+    retry_delay: float = 0.25,
+    once: bool = False,
+    out: TextIO = sys.stdout,
+) -> int:
+    """Entry point behind ``python -m repro worker``; returns an exit code.
+
+    Exactly one of ``connect``/``listen`` must be given.  ``once`` makes
+    a listening worker exit after its first coordinator connection
+    (handy for smoke tests and CI).
+    """
+    if (connect is None) == (listen is None):
+        raise ValueError("exactly one of connect= or listen= is required")
+
+    if connect is not None:
+        address = backends.parse_address(connect)
+        connections = 0
+        while True:
+            # Before the first connection the coordinator may not be up
+            # yet, so dial patiently; afterwards, a refused connection
+            # means the coordinator closed its listener -- a clean exit.
+            # (Between two sweeps the listener is still open: the redial
+            # parks in its backlog and serves the next sweep, so one
+            # worker survives a whole ``figures`` run.)
+            budget = max(1, retries) if connections == 0 else 1
+            sock = None
+            last_error: Optional[OSError] = None
+            for _attempt in range(budget):
+                try:
+                    sock = socket.create_connection(address)
+                    break
+                except OSError as exc:
+                    last_error = exc
+                    if _attempt + 1 < budget:
+                        time.sleep(retry_delay)
+            if sock is None:
+                if connections:
+                    return 0  # coordinator is gone; work is done
+                print(
+                    f"worker: could not reach coordinator at "
+                    f"{address[0]}:{address[1]}: {last_error}",
+                    file=sys.stderr,
+                )
+                return 1
+            try:
+                with sock:
+                    served, from_cache = serve_connection(sock, cache)
+            except OSError:
+                # The redial parked in the listener's backlog and the
+                # coordinator closed it (connection reset): clean exit,
+                # same as a refused redial.
+                if connections:
+                    return 0
+                raise
+            connections += 1
+            print(
+                f"worker: served {served} cell(s) ({from_cache} from cache) "
+                f"for {address[0]}:{address[1]}",
+                file=out,
+                flush=True,
+            )
+            if once:
+                return 0
+
+    server = socket.create_server(backends.parse_address(listen))
+    host, port = server.getsockname()[:2]
+    # Scripts parse this line to learn the bound port (PORT may be 0).
+    print(f"worker: listening on {host}:{port}", file=out, flush=True)
+    with server:
+        while True:
+            sock, peer = server.accept()
+            with sock:
+                served, from_cache = serve_connection(sock, cache)
+            print(
+                "worker: served %d cell(s) (%d from cache) for %s:%d"
+                % (served, from_cache, *peer[:2]),
+                file=out,
+                flush=True,
+            )
+            if once:
+                return 0

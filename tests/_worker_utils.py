@@ -1,0 +1,22 @@
+"""Helpers for tests that drive real ``python -m repro worker`` processes."""
+
+import os
+import subprocess
+from pathlib import Path
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+def worker_env() -> dict:
+    """Subprocess environment with this checkout's ``src/`` importable."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def read_worker_address(proc: subprocess.Popen) -> str:
+    """The ``HOST:PORT`` a ``worker --listen`` subprocess bound (from its
+    announcement line), so tests can listen on port 0."""
+    line = proc.stdout.readline()
+    assert "listening on" in line, f"unexpected worker output: {line!r}"
+    return line.rsplit(" ", 1)[-1].strip()

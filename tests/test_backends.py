@@ -1,0 +1,381 @@
+"""Tests for the pluggable sweep execution backends.
+
+Covers backend resolution (names, env knobs, worker addresses), the
+thread backend's byte-identical results, and the distributed backend's
+TCP/JSON protocol: listen and dial topologies, shared caches, worker
+failure reporting, and requeueing cells from dead connections.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.experiments import backends
+from repro.experiments import worker as worker_mod
+from repro.experiments.backends import (
+    DistributedBackend,
+    LocalProcessBackend,
+    SweepBackend,
+    ThreadBackend,
+    parse_address,
+    resolve_backend,
+)
+from repro.experiments.orchestrator import ResultCache, SweepJob, run_sweep
+
+R = 120  # tiny traces: these tests check plumbing, not magnitudes
+
+
+def tiny_jobs():
+    return [
+        SweepJob.make("bc", "Base-CSSD", records_per_thread=R),
+        SweepJob.make("bc", "DRAM-Only", records_per_thread=R),
+        SweepJob.make("ycsb", "SkyByte-Full", records_per_thread=R),
+    ]
+
+
+def dumps(results):
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+class TestResolution:
+    def test_default_is_local(self, monkeypatch):
+        monkeypatch.delenv(backends.BACKEND_ENV, raising=False)
+        backend = resolve_backend(None, jobs=3)
+        assert isinstance(backend, LocalProcessBackend)
+        assert backend.jobs == 3
+
+    def test_names(self):
+        assert isinstance(resolve_backend("local", jobs=2), LocalProcessBackend)
+        assert isinstance(resolve_backend("thread", jobs=2), ThreadBackend)
+        serial = resolve_backend("serial", jobs=8)
+        assert isinstance(serial, LocalProcessBackend)
+        assert serial.jobs == 1
+
+    def test_instance_passes_through(self):
+        backend = ThreadBackend(2)
+        assert resolve_backend(backend) is backend
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "thread")
+        assert isinstance(resolve_backend(None, jobs=2), ThreadBackend)
+
+    def test_env_supplies_workers(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "distributed")
+        monkeypatch.setenv(backends.WORKERS_ENV, "alpha:7001,beta:7002")
+        backend = resolve_backend(None)
+        assert isinstance(backend, DistributedBackend)
+        assert backend.workers == [("alpha", 7001), ("beta", 7002)]
+
+    def test_spec_suffix_supplies_workers(self):
+        backend = resolve_backend("distributed:alpha:7001,beta:7002")
+        assert backend.workers == [("alpha", 7001), ("beta", 7002)]
+
+    def test_workers_argument_implies_distributed(self, monkeypatch):
+        monkeypatch.delenv(backends.BACKEND_ENV, raising=False)
+        backend = resolve_backend(None, workers=["localhost:7001"])
+        assert isinstance(backend, DistributedBackend)
+        assert backend.workers == [("localhost", 7001)]
+
+    def test_explicit_workers_beat_env_backend(self, monkeypatch):
+        """A typed worker list must not lose to an ambient env default."""
+        monkeypatch.setenv(backends.BACKEND_ENV, "thread")
+        backend = resolve_backend(None, workers=["remote:7001"])
+        assert isinstance(backend, DistributedBackend)
+        assert backend.workers == [("remote", 7001)]
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            resolve_backend("carrier-pigeon")
+
+    def test_distributed_without_workers_raises(self, monkeypatch):
+        monkeypatch.delenv(backends.WORKERS_ENV, raising=False)
+        with pytest.raises(ValueError, match="worker addresses"):
+            resolve_backend("distributed")
+
+    def test_parse_address(self):
+        assert parse_address("host:8") == ("host", 8)
+        assert parse_address("7001") == ("127.0.0.1", 7001)
+        assert parse_address(("", 9)) == ("127.0.0.1", 9)
+        with pytest.raises(ValueError, match="bad worker address"):
+            parse_address("no-port")
+
+    def test_describe(self):
+        assert LocalProcessBackend(4).describe() == "local[jobs=4]"
+        assert ThreadBackend(2).describe() == "thread[jobs=2]"
+        assert SweepBackend().describe() == "abstract"
+
+
+class TestThreadBackend:
+    def test_matches_serial_byte_identical(self):
+        serial = run_sweep(tiny_jobs(), jobs=1, cache=False)
+        threaded = run_sweep(tiny_jobs(), jobs=3, cache=False, backend="thread")
+        assert dumps(serial) == dumps(threaded)
+
+    def test_uses_cache(self, tmp_path):
+        store = ResultCache(tmp_path)
+        run_sweep(tiny_jobs(), jobs=2, cache=store, backend=ThreadBackend(2))
+        assert store.misses == 3
+        run_sweep(tiny_jobs(), jobs=2, cache=store, backend=ThreadBackend(2))
+        assert store.hits == 3
+
+
+def start_inprocess_worker(address, cache=None):
+    """A real worker (the module the CLI runs), dialing in on a thread."""
+
+    def serve():
+        sock = socket.create_connection(address)
+        with sock:
+            worker_mod.serve_connection(sock, cache)
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestDistributedBackend:
+    def test_listen_mode_matches_serial(self):
+        serial = run_sweep(tiny_jobs(), jobs=1, cache=False)
+        with DistributedBackend(listen="127.0.0.1:0") as backend:
+            workers = [start_inprocess_worker(backend.address) for _ in range(2)]
+            results = run_sweep(tiny_jobs(), cache=False, backend=backend)
+        assert dumps(results) == dumps(serial)
+        for thread in workers:
+            thread.join(timeout=5)
+
+    def test_dedup_and_order_preserved(self, tmp_path):
+        store = ResultCache(tmp_path)
+        specs = tiny_jobs() + [tiny_jobs()[0]]  # duplicate first cell
+        with DistributedBackend(listen="127.0.0.1:0") as backend:
+            start_inprocess_worker(backend.address)
+            results = run_sweep(specs, cache=store, backend=backend)
+        assert [r.workload for r in results] == ["bc", "bc", "ycsb", "bc"]
+        assert dumps([results[0]]) == dumps([results[3]])
+        assert store.misses == 3  # the duplicate never crossed the wire
+
+    def test_workers_share_coordinator_cache(self, tmp_path):
+        """A cell cached by a local sweep is served, not re-simulated,
+        when the worker points at the same cache directory."""
+        run_sweep(tiny_jobs(), jobs=1, cache=ResultCache(tmp_path))
+        worker_store = ResultCache(tmp_path)
+        with DistributedBackend(listen="127.0.0.1:0") as backend:
+            start_inprocess_worker(backend.address, cache=worker_store)
+            results = run_sweep(tiny_jobs(), cache=False, backend=backend)
+        assert worker_store.hits == 3
+        assert worker_store.misses == 0
+        assert dumps(results) == dumps(run_sweep(tiny_jobs(), jobs=1, cache=False))
+
+    def test_worker_cell_failure_raises(self):
+        with DistributedBackend(listen="127.0.0.1:0") as backend:
+
+            def bad_worker():
+                sock = socket.create_connection(backend.address)
+                with sock:
+                    rfile = sock.makefile("r", encoding="utf-8")
+                    backends.send_msg(
+                        sock,
+                        {"type": "hello", "version": backends.PROTOCOL_VERSION},
+                    )
+                    while True:
+                        msg = backends.recv_msg(rfile)
+                        if msg is None or msg.get("type") != "job":
+                            return
+                        backends.send_msg(
+                            sock,
+                            {"type": "result", "id": msg["id"],
+                             "ok": False, "error": "boom"},
+                        )
+
+            threading.Thread(target=bad_worker, daemon=True).start()
+            with pytest.raises(RuntimeError, match="boom"):
+                run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+
+    def test_dead_worker_requeues_cell(self):
+        """A connection dying mid-cell hands the cell to a survivor."""
+        with DistributedBackend(listen="127.0.0.1:0") as backend:
+
+            def flaky_worker():
+                sock = socket.create_connection(backend.address)
+                rfile = sock.makefile("r", encoding="utf-8")
+                backends.send_msg(
+                    sock, {"type": "hello", "version": backends.PROTOCOL_VERSION}
+                )
+                backends.recv_msg(rfile)  # accept one cell...
+                sock.close()  # ...and die without answering
+
+            threading.Thread(target=flaky_worker, daemon=True).start()
+            time.sleep(0.3)  # let the flaky worker grab a cell first
+            start_inprocess_worker(backend.address)
+            results = run_sweep(tiny_jobs(), cache=False, backend=backend)
+        assert dumps(results) == dumps(run_sweep(tiny_jobs(), jobs=1, cache=False))
+
+    def test_all_workers_dead_raises_with_diagnostics(self):
+        """Dial mode: every worker dying with cells left is an error, and
+        the error says why the connections went down."""
+        server = socket.create_server(("127.0.0.1", 0))
+
+        def doomed_worker():
+            while True:  # also swallow the bounded redial attempts
+                try:
+                    sock, _peer = server.accept()
+                except OSError:
+                    return
+                rfile = sock.makefile("r", encoding="utf-8")
+                backends.send_msg(
+                    sock, {"type": "hello", "version": backends.PROTOCOL_VERSION}
+                )
+                backends.recv_msg(rfile)  # take a cell
+                rfile.close()  # really close the fd: the coordinator
+                sock.close()  # must see EOF, not a half-open socket
+
+        threading.Thread(target=doomed_worker, daemon=True).start()
+        host, port = server.getsockname()[:2]
+        backend = DistributedBackend(workers=[f"{host}:{port}"],
+                                     connect_timeout=2.0)
+        with server, pytest.raises(RuntimeError, match="unfinished.*mid-cell"):
+            run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+
+    def test_protocol_version_mismatch_rejected(self):
+        server = socket.create_server(("127.0.0.1", 0))
+
+        def ancient_worker():
+            while True:
+                try:
+                    sock, _peer = server.accept()
+                except OSError:
+                    return
+                backends.send_msg(sock, {"type": "hello", "version": -1})
+                sock.recv(4096)
+                sock.close()
+
+        threading.Thread(target=ancient_worker, daemon=True).start()
+        host, port = server.getsockname()[:2]
+        backend = DistributedBackend(workers=[f"{host}:{port}"],
+                                     connect_timeout=2.0)
+        with server, pytest.raises(RuntimeError, match="protocol"):
+            run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+
+    def test_redials_listening_worker_after_survivors_drained(self):
+        """A cell requeued after the queue drained (survivors already
+        dismissed) is re-dispatched by re-dialing the worker address."""
+        server = socket.create_server(("127.0.0.1", 0))
+        connections = []
+
+        def worker_loop():
+            while True:
+                try:
+                    sock, _peer = server.accept()
+                except OSError:
+                    return
+                connections.append(sock)
+                if len(connections) == 1:
+                    # First connection: take one cell, die mid-cell.
+                    rfile = sock.makefile("r", encoding="utf-8")
+                    backends.send_msg(
+                        sock,
+                        {"type": "hello", "version": backends.PROTOCOL_VERSION},
+                    )
+                    backends.recv_msg(rfile)
+                    rfile.close()
+                    sock.close()
+                else:
+                    # The redial: behave like a real worker.
+                    with sock:
+                        worker_mod.serve_connection(sock)
+
+        threading.Thread(target=worker_loop, daemon=True).start()
+        host, port = server.getsockname()[:2]
+        backend = DistributedBackend(workers=[f"{host}:{port}"],
+                                     connect_timeout=5.0)
+        with server:
+            results = run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+        assert len(connections) >= 2  # the redial actually happened
+        assert dumps(results) == dumps(
+            run_sweep(tiny_jobs()[:1], jobs=1, cache=False)
+        )
+
+    def test_needs_workers_or_listen(self):
+        with pytest.raises(ValueError, match="worker addresses"):
+            DistributedBackend()
+
+    def test_connect_worker_survives_multiple_sweeps(self, spawn_worker):
+        """A --connect worker redials after each sweep, so one worker
+        serves a whole multi-sweep (e.g. ``figures --listen``) session
+        and exits cleanly once the coordinator's listener closes."""
+        serial = run_sweep(tiny_jobs(), jobs=1, cache=False)
+        with DistributedBackend(listen="127.0.0.1:0") as backend:
+            host, port = backend.address
+            proc = spawn_worker("--connect", f"{host}:{port}", "--no-cache")
+            first = run_sweep(tiny_jobs(), cache=False, backend=backend)
+            second = run_sweep(tiny_jobs(), cache=False, backend=backend)
+        assert dumps(first) == dumps(serial)
+        assert dumps(second) == dumps(serial)
+        assert proc.wait(timeout=30) == 0  # listener closed -> clean exit
+        assert proc.stdout.read().count("served 3 cell(s)") == 2
+
+
+class TestWorkerProtocol:
+    def _handshake(self):
+        coord, worker_side = socket.socketpair()
+        thread = threading.Thread(
+            target=worker_mod.serve_connection, args=(worker_side,), daemon=True
+        )
+        thread.start()
+        rfile = coord.makefile("r", encoding="utf-8")
+        hello = backends.recv_msg(rfile)
+        assert hello["type"] == "hello"
+        assert hello["version"] == backends.PROTOCOL_VERSION
+        return coord, rfile, thread
+
+    def test_bad_cell_reports_error_and_survives(self):
+        coord, rfile, thread = self._handshake()
+        backends.send_msg(coord, {"type": "job", "id": 1, "workload": "nope",
+                                  "variant": "Base-CSSD", "params": {}})
+        reply = backends.recv_msg(rfile)
+        assert reply["ok"] is False
+        assert "unknown workload" in reply["error"]
+        # The worker survives a failed cell and serves the next one.
+        job = SweepJob.make("bc", "DRAM-Only", records_per_thread=R)
+        message = {"type": "job", "id": 2}
+        message.update(backends.job_to_wire(job))
+        backends.send_msg(coord, message)
+        reply = backends.recv_msg(rfile)
+        assert reply["ok"] is True
+        assert reply["result"]["workload"] == "bc"
+        backends.send_msg(coord, {"type": "bye"})
+        thread.join(timeout=10)
+        coord.close()
+
+    def test_unexpected_message_type_reported(self):
+        coord, rfile, thread = self._handshake()
+        backends.send_msg(coord, {"type": "gossip", "id": 7})
+        reply = backends.recv_msg(rfile)
+        assert reply["ok"] is False
+        assert "gossip" in reply["error"]
+        backends.send_msg(coord, {"type": "bye"})
+        thread.join(timeout=10)
+        coord.close()
+
+    def test_wire_resolves_records_on_coordinator(self, monkeypatch):
+        """A worker host's REPRO_RECORDS must never change what a shipped
+        cell simulates: the coordinator resolves it into the wire form."""
+        monkeypatch.setenv("REPRO_RECORDS", "77")
+        job = SweepJob.make("bc", "Base-CSSD")  # no explicit records
+        key_on_coordinator = job.key()
+        wire = json.loads(json.dumps(backends.job_to_wire(job)))
+        assert wire["params"]["records_per_thread"] == 77
+        monkeypatch.setenv("REPRO_RECORDS", "9999")  # the "worker host"
+        rebuilt = backends.job_from_wire(wire)
+        assert rebuilt.kwargs()["records_per_thread"] == 77
+        assert rebuilt.key() == key_on_coordinator
+
+    def test_wire_round_trip_preserves_job(self):
+        job = SweepJob.make("ycsb-b", "skybyte-full", records_per_thread=R,
+                            ssd_overrides={"prefetch_depth": 0}, seed=7)
+        rebuilt = backends.job_from_wire(
+            json.loads(json.dumps(backends.job_to_wire(job)))
+        )
+        assert rebuilt == job
+        assert rebuilt.key() == job.key()

@@ -1,0 +1,207 @@
+"""Tests for the ResultCache storage layer.
+
+Exercises the index file, size caps with LRU eviction, exact hit/miss/
+evict accounting, prune, legacy-entry adoption, index-corruption
+recovery, and multi-process writers sharing one cache directory.
+"""
+
+import json
+import multiprocessing
+
+from repro.config import SimConfig
+from repro.experiments.orchestrator import ResultCache
+from repro.experiments.runner import RunResult
+from repro.sim.stats import SimStats
+
+
+def fake_result(workload: str = "bc") -> RunResult:
+    """A minimal, cheap RunResult (no simulation) for storage tests."""
+    return RunResult(workload=workload, variant="Base-CSSD", threads=8,
+                     stats=SimStats(), config=SimConfig())
+
+
+def entry_size(tmp_path) -> int:
+    probe = ResultCache(tmp_path / "probe")
+    probe.put("probe", fake_result())
+    return probe.size_bytes()
+
+
+class TestBasics:
+    def test_round_trip_and_counters(self, tmp_path):
+        store = ResultCache(tmp_path)
+        assert store.get("missing") is None
+        store.put("k1", fake_result())
+        hit = store.get("k1")
+        assert hit is not None
+        assert hit.workload == "bc"
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_index_file_is_not_an_entry(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put("k1", fake_result())
+        assert (tmp_path / ResultCache.INDEX_NAME).is_file()
+        assert [p.stem for p in store.entries()] == ["k1"]
+        assert store.stats()["entries"] == 1
+
+    def test_max_bytes_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "4096")
+        assert ResultCache(tmp_path).max_bytes == 4096
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "junk")
+        assert ResultCache(tmp_path).max_bytes == 0
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+        assert ResultCache(tmp_path).max_bytes == 0
+        assert ResultCache(tmp_path, max_bytes=123).max_bytes == 123
+
+
+class TestEviction:
+    def test_cap_evicts_oldest_first(self, tmp_path):
+        unit = entry_size(tmp_path)
+        store = ResultCache(tmp_path / "c", max_bytes=3 * unit + unit // 2)
+        for i in range(5):
+            store.put(f"k{i}", fake_result())
+        assert store.evictions == 2
+        assert {p.stem for p in store.entries()} == {"k2", "k3", "k4"}
+        assert store.size_bytes() <= store.max_bytes
+        stats = store.stats()
+        assert stats["puts"] == 5
+        assert stats["evictions"] == 2
+        assert stats["entries"] == 3
+
+    def test_get_refreshes_lru_order(self, tmp_path):
+        unit = entry_size(tmp_path)
+        store = ResultCache(tmp_path / "c", max_bytes=3 * unit + unit // 2)
+        for key in ("k0", "k1", "k2"):
+            store.put(key, fake_result())
+        assert store.get("k0") is not None  # touch: k0 is now most recent
+        store.put("k3", fake_result())
+        assert {p.stem for p in store.entries()} == {"k0", "k2", "k3"}
+        assert store.evictions == 1
+
+    def test_fresh_key_never_self_evicts(self, tmp_path):
+        unit = entry_size(tmp_path)
+        store = ResultCache(tmp_path / "c", max_bytes=unit // 2)
+        store.put("k0", fake_result())
+        assert [p.stem for p in store.entries()] == ["k0"]
+        assert store.evictions == 0
+        store.put("k1", fake_result())  # now k0 must go
+        assert [p.stem for p in store.entries()] == ["k1"]
+        assert store.evictions == 1
+
+    def test_evicted_entry_is_a_miss_not_corruption(self, tmp_path):
+        unit = entry_size(tmp_path)
+        store = ResultCache(tmp_path / "c", max_bytes=unit)
+        store.put("k0", fake_result())
+        store.put("k1", fake_result())
+        assert store.get("k0") is None
+        assert store.get("k1") is not None
+
+
+class TestPrune:
+    def test_prune_to_explicit_cap(self, tmp_path):
+        unit = entry_size(tmp_path)
+        store = ResultCache(tmp_path / "c")  # unbounded
+        for i in range(4):
+            store.put(f"k{i}", fake_result())
+        removed = store.prune(2 * unit)
+        assert removed == 2
+        assert {p.stem for p in store.entries()} == {"k2", "k3"}
+        assert store.evictions == 2
+
+    def test_prune_defaults_to_configured_cap(self, tmp_path):
+        unit = entry_size(tmp_path)
+        store = ResultCache(tmp_path / "c")
+        for i in range(3):
+            store.put(f"k{i}", fake_result())
+        assert store.prune() == 0  # unbounded: nothing to do
+        capped = ResultCache(tmp_path / "c", max_bytes=unit)
+        assert capped.prune() == 2
+        assert len(capped.entries()) == 1
+
+    def test_clear_resets_index_and_stats(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put("k0", fake_result())
+        store.put("k1", fake_result())
+        assert store.clear() == 2
+        stats = store.stats()
+        assert stats["entries"] == 0
+        assert stats["puts"] == 0
+        assert store.size_bytes() == 0
+
+
+class TestResilience:
+    def test_corrupt_index_recovers(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put("k0", fake_result())
+        store.put("k1", fake_result())
+        (tmp_path / ResultCache.INDEX_NAME).write_text("{not json")
+        assert store.stats()["entries"] == 2  # rebuilt from data files
+        assert store.get("k0") is not None
+
+    def test_adopts_legacy_unindexed_entries(self, tmp_path):
+        """Data files written before the index existed are adopted and
+        are first in line for eviction (least recently used)."""
+        legacy = tmp_path / "legacykey.json"
+        legacy.write_text(json.dumps(fake_result().to_dict()))
+        store = ResultCache(tmp_path)
+        assert store.stats()["entries"] == 1
+        store.put("fresh", fake_result())
+        store.prune(store.size_bytes() - 1)
+        assert [p.stem for p in store.entries()] == ["fresh"]
+
+    def test_index_dropped_when_file_vanishes(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put("k0", fake_result())
+        store.path_for("k0").unlink()
+        assert store.stats()["entries"] == 0
+
+
+def _hammer(root, worker_id, n, max_bytes):
+    store = ResultCache(root, max_bytes=max_bytes)
+    result = fake_result()
+    for i in range(n):
+        store.put(f"w{worker_id}k{i:03d}", result)
+        store.get(f"w{worker_id}k{i:03d}")
+        store.get(f"w{(worker_id + 1) % 4}k{i:03d}")
+
+
+def _run_hammers(root, max_bytes, workers=4, n=20):
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=_hammer, args=(root, w, n, max_bytes))
+        for w in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+    return workers * n
+
+
+class TestConcurrency:
+    def test_concurrent_writers_exact_accounting(self, tmp_path):
+        """Unbounded cache: no update may be lost under contention."""
+        puts = _run_hammers(tmp_path, max_bytes=0)
+        store = ResultCache(tmp_path)
+        stats = store.stats()
+        # Exact counters prove index updates were never lost: every put
+        # registered, every get resolved to exactly one hit or miss.
+        assert stats["puts"] == puts
+        assert stats["entries"] == puts
+        assert stats["evictions"] == 0
+        assert stats["hits"] + stats["misses"] == 2 * puts
+        assert stats["hits"] >= puts  # each writer re-reads its own key
+
+    def test_concurrent_writers_capped_never_corrupt(self, tmp_path):
+        unit = entry_size(tmp_path / "probe-dir")
+        cap = 5 * unit
+        _run_hammers(tmp_path / "shared", max_bytes=cap)
+        with open(tmp_path / "shared" / ResultCache.INDEX_NAME) as fh:
+            index = json.load(fh)  # must parse: writers never corrupt it
+        store = ResultCache(tmp_path / "shared", max_bytes=cap)
+        stats = store.stats()
+        assert stats["size_bytes"] <= cap
+        assert stats["puts"] == 80
+        # Every surviving index entry must be a readable result.
+        for key in index["entries"]:
+            assert store.get(key) is not None

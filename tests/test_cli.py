@@ -110,6 +110,123 @@ def test_cache_stats_path_and_clear(capsys, tmp_path):
     assert "entries:   0" in capsys.readouterr().out
 
 
+def test_sweep_thread_backend_matches_local(capsys, tmp_path):
+    out_local = tmp_path / "local.json"
+    out_thread = tmp_path / "thread.json"
+    base = ["sweep", "--workloads", "bc", "--variants", "Base-CSSD,DRAM-Only",
+            "--records", R, "--no-cache", "--quiet"]
+    assert main(base + ["--backend", "local", "--output", str(out_local)]) == 0
+    assert main(base + ["--backend", "thread", "--jobs", "2",
+                        "--output", str(out_thread)]) == 0
+    capsys.readouterr()
+    local = json.loads(out_local.read_text())
+    threaded = json.loads(out_thread.read_text())
+    assert local["results"] == threaded["results"]
+    assert threaded["backend"] == "thread[jobs=2]"
+
+
+def test_sweep_distributed_backend_matches_local(capsys, tmp_path, spawn_worker):
+    """The acceptance path: ``sweep --backend distributed --workers
+    localhost:PORT`` against a real worker subprocess is byte-identical
+    to ``--backend local``."""
+    from _worker_utils import read_worker_address
+
+    proc = spawn_worker("--listen", "127.0.0.1:0", "--once", "--no-cache")
+    address = read_worker_address(proc)
+    out_local = tmp_path / "local.json"
+    out_dist = tmp_path / "dist.json"
+    base = ["sweep", "--workloads", "bc", "--variants", "Base-CSSD,DRAM-Only",
+            "--records", R, "--no-cache", "--quiet"]
+    assert main(base + ["--backend", "local", "--output", str(out_local)]) == 0
+    assert main(base + ["--backend", "distributed", "--workers", address,
+                        "--output", str(out_dist)]) == 0
+    capsys.readouterr()
+    assert proc.wait(timeout=30) == 0
+    local = json.loads(out_local.read_text())
+    dist = json.loads(out_dist.read_text())
+    assert json.dumps(local["results"], sort_keys=True) == json.dumps(
+        dist["results"], sort_keys=True
+    )
+
+
+def test_sweep_distributed_without_workers_fails_cleanly(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+    rc = main(["sweep", "--workloads", "bc", "--variants", "Base-CSSD",
+               "--records", R, "--no-cache", "--quiet",
+               "--backend", "distributed"])
+    assert rc == 2
+    assert "worker addresses" in capsys.readouterr().err
+
+
+def test_cache_stats_reports_lifetime_counters(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    argv = ["sweep", "--workloads", "bc", "--variants", "Base-CSSD",
+            "--records", R, "--cache-dir", str(cache_dir), "--quiet"]
+    main(argv)
+    main(argv)  # second run: one hit
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries:   1" in out
+    assert "cap:       unbounded" in out
+    # The cold-start miss predates the cache directory, so by design it
+    # is not in the lifetime counters (no directory is conjured for it).
+    assert "1 hit(s), 0 miss(es), 1 put(s), 0 eviction(s)" in out
+
+
+def test_cache_prune_requires_cap(capsys, tmp_path):
+    rc = main(["cache", "prune", "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "size cap" in capsys.readouterr().err
+
+
+def test_cache_prune_evicts_lru(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    base = ["sweep", "--workloads", "bc", "--variants", "Base-CSSD",
+            "--cache-dir", str(cache_dir), "--quiet"]
+    main(base + ["--records", R])
+    main(base + ["--records", str(int(R) + 1)])  # a second, newer entry
+    capsys.readouterr()
+    entries = sorted(cache_dir.glob("*.json"))
+    keep = max(p.stat().st_size for p in entries if p.name != "index.json")
+    assert main(["cache", "prune", "--cache-dir", str(cache_dir),
+                 "--max-bytes", str(keep)]) == 0
+    assert "evicted 1 entry" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    assert "entries:   1" in capsys.readouterr().out
+
+
+def test_listen_conflicts_with_non_distributed_backend(capsys):
+    rc = main(["sweep", "--workloads", "bc", "--variants", "Base-CSSD",
+               "--records", R, "--no-cache", "--quiet",
+               "--listen", "127.0.0.1:0", "--backend", "thread"])
+    assert rc == 2
+    assert "incompatible" in capsys.readouterr().err
+
+
+def test_listen_keeps_explicit_workers():
+    """--listen plus --workers builds the mixed topology (dial out AND
+    accept dial-ins), not a listen-only backend."""
+    import argparse
+
+    from repro.cli import _backend_from_args
+
+    args = argparse.Namespace(listen="127.0.0.1:0",
+                              workers=["hostA:7461,hostB:7462"],
+                              backend=None, jobs=None)
+    backend = _backend_from_args(args)
+    try:
+        assert backend.workers == [("hostA", 7461), ("hostB", 7462)]
+        assert backend.address is not None
+    finally:
+        backend.close()
+
+
+def test_worker_requires_a_mode():
+    with pytest.raises(SystemExit):
+        main(["worker"])
+
+
 def test_cache_dir_env_override(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
     assert main(["cache", "path"]) == 0

@@ -1,0 +1,153 @@
+"""Golden-run regression tests: pinned results every backend must match.
+
+``tests/golden/`` pins, per (workload, variant) cell, the summary stats
+and a SHA-256 over the canonical ``RunResult.to_dict()`` JSON of a
+short seed-fixed run.  These tests assert that the serial path and
+every execution backend -- process pool, thread pool, and distributed
+workers on localhost (real ``python -m repro worker`` subprocesses) --
+reproduce those results *byte-identically*.
+
+A legitimate simulator-semantics change invalidates the pins; refresh
+them with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_fidelity.py
+
+and commit the diff under ``tests/golden/`` (reviewers then see exactly
+which workloads moved).
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from _worker_utils import read_worker_address
+from repro.experiments.backends import (
+    DistributedBackend,
+    LocalProcessBackend,
+    ThreadBackend,
+)
+from repro.experiments.orchestrator import SweepJob, run_sweep
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+RECORDS = 100  # short but long enough to exercise flash, cache and log paths
+SEED = 42
+CELLS = (
+    ("bc", "Base-CSSD"),
+    ("bc", "SkyByte-Full"),
+    ("ycsb", "DRAM-Only"),
+)
+
+
+def golden_jobs():
+    return [
+        SweepJob.make(wl, variant, records_per_thread=RECORDS, seed=SEED)
+        for wl, variant in CELLS
+    ]
+
+
+def golden_path(workload: str, variant: str) -> Path:
+    return GOLDEN_DIR / f"{workload}__{variant}.json"
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def digest(result) -> str:
+    return hashlib.sha256(canonical(result).encode("utf-8")).hexdigest()
+
+
+def assert_matches_golden(results):
+    assert len(results) == len(CELLS)
+    for (workload, variant), result in zip(CELLS, results):
+        pinned = json.loads(golden_path(workload, variant).read_text())
+        assert pinned["records_per_thread"] == RECORDS
+        assert result.stats.summary() == pinned["summary"], (workload, variant)
+        assert digest(result) == pinned["result_sha256"], (workload, variant)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    results = run_sweep(golden_jobs(), jobs=1, cache=False)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for (workload, variant), result in zip(CELLS, results):
+            golden_path(workload, variant).write_text(
+                json.dumps(
+                    {
+                        "workload": workload,
+                        "variant": variant,
+                        "records_per_thread": RECORDS,
+                        "seed": SEED,
+                        "summary": result.stats.summary(),
+                        "result_sha256": digest(result),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+    return results
+
+
+def test_golden_files_exist(serial_results):
+    missing = [
+        golden_path(wl, variant).name
+        for wl, variant in CELLS
+        if not golden_path(wl, variant).is_file()
+    ]
+    assert not missing, (
+        f"missing golden pins {missing}; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1 (see module docstring)"
+    )
+
+
+def test_serial_matches_golden(serial_results):
+    assert_matches_golden(serial_results)
+
+
+def test_process_backend_matches_golden():
+    results = run_sweep(golden_jobs(), cache=False, backend=LocalProcessBackend(2))
+    assert_matches_golden(results)
+
+
+def test_thread_backend_matches_golden():
+    results = run_sweep(golden_jobs(), cache=False, backend=ThreadBackend(2))
+    assert_matches_golden(results)
+
+
+def test_distributed_backend_matches_golden(spawn_worker):
+    """Two real worker subprocesses dialing in over TCP (the ISSUE's
+    ``python -m repro worker --connect HOST:PORT`` path)."""
+    with DistributedBackend(listen="127.0.0.1:0") as backend:
+        host, port = backend.address
+        procs = [
+            spawn_worker("--connect", f"{host}:{port}", "--no-cache")
+            for _ in range(2)
+        ]
+        results = run_sweep(golden_jobs(), cache=False, backend=backend)
+    assert_matches_golden(results)
+    for proc in procs:
+        assert proc.wait(timeout=30) == 0
+
+
+def test_distributed_dial_mode_matches_golden(spawn_worker):
+    """A listening worker the coordinator dials (the CLI's ``--workers``
+    path), on an OS-assigned port parsed from the worker's stdout."""
+    proc = spawn_worker("--listen", "127.0.0.1:0", "--once", "--no-cache")
+    address = read_worker_address(proc)
+    backend = DistributedBackend(workers=[address])
+    results = run_sweep(golden_jobs(), cache=False, backend=backend)
+    assert_matches_golden(results)
+    assert proc.wait(timeout=30) == 0
+
+
+def test_cached_results_match_golden(tmp_path):
+    """A result that round-trips through the on-disk cache is still
+    byte-identical to the pinned run."""
+    run_sweep(golden_jobs(), jobs=1, cache=tmp_path)
+    cached = run_sweep(golden_jobs(), jobs=1, cache=tmp_path)
+    assert_matches_golden(cached)
