@@ -12,9 +12,18 @@ Subcommands
     (``local`` process pool, ``thread`` pool, or ``distributed`` TCP
     workers named by ``--workers HOST:PORT,...``).
 ``figures``
-    Regenerate the paper's evaluation figures/tables (fig2..fig23,
-    table3, cost) through the shared orchestrator, one JSON file per
-    figure.
+    Regenerate the paper's evaluation figures/tables through the shared
+    orchestrator, one JSON file per figure.  The registered figure ids
+    are the keys of :data:`FIGURES` (run ``repro figures --help`` for
+    the list; ``docs/FIGURES.md`` documents each one).
+``report``
+    Run figure drivers and render their results: per-figure SVG charts
+    (dependency-free renderer, no matplotlib) assembled with a
+    reproduced-vs-paper fidelity table into ``REPORT.md`` and
+    ``REPORT.html``.  The report is rewritten atomically after every
+    finished simulation cell, so a long sweep can be watched by
+    refreshing the file; a cache-warm re-run rebuilds it without
+    re-simulating.
 ``worker``
     Serve sweep cells to a distributed coordinator over TCP: either
     ``--listen [HOST:]PORT`` (coordinator dials with ``--workers``) or
@@ -39,6 +48,7 @@ import argparse
 import inspect
 import json
 import sys
+import traceback
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -54,6 +64,7 @@ from repro.experiments.orchestrator import (
 )
 from repro.experiments.runner import default_records
 from repro.experiments.worker import run_worker
+from repro.figures.report import ReportBuilder
 from repro.variants import MAIN_VARIANTS, VARIANTS, canonical_variant
 from repro.workloads.suites import WORKLOAD_NAMES, canonical_workload
 
@@ -133,6 +144,20 @@ def _print_kv(rows: Dict[str, object], indent: str = "  ") -> None:
             print(f"{indent}{key:<{width}}{value:.6g}")
         else:
             print(f"{indent}{key:<{width}}{value}")
+
+
+def _print_cache_summary(store: object, backend: object) -> None:
+    """The shared tail output of sweep/report: cache and worker hits."""
+    if isinstance(store, ResultCache):
+        total = store.hits + store.misses
+        pct = 100.0 * store.hits / total if total else 0.0
+        print(f"cache: {store.hits} hit(s), {store.misses} miss(es) "
+              f"({pct:.0f}% hits) in {store.root}")
+    else:
+        print("cache: disabled")
+    if isinstance(backend, DistributedBackend) and backend.remote_cache_hits:
+        print(f"workers answered {backend.remote_cache_hits} cell(s) "
+              f"from their own cache")
 
 
 def _progress_printer(verbose: bool) -> Optional[Callable[[SweepJob, str], None]]:
@@ -256,13 +281,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"{r.stats.throughput_ipns:>10.4f}"
               f"{r.stats.context_switches:>8}")
 
-    if isinstance(store, ResultCache):
-        total = store.hits + store.misses
-        pct = 100.0 * store.hits / total if total else 0.0
-        print(f"cache: {store.hits} hit(s), {store.misses} miss(es) "
-              f"({pct:.0f}% hits) in {store.root}")
-    else:
-        print("cache: disabled")
+    _print_cache_summary(store, backend)
 
     if args.output:
         payload = {
@@ -282,9 +301,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _figure_kwargs(
-    fn: Callable, args: argparse.Namespace, backend: object
+    fn: Callable,
+    args: argparse.Namespace,
+    backend: object,
+    cache: object = None,
+    progress: Optional[Callable[[SweepJob, str], None]] = None,
 ) -> Dict[str, object]:
-    """The subset of CLI options this figure driver understands."""
+    """The subset of CLI options this figure driver understands.
+
+    ``cache`` lets a multi-figure command share one store (so its
+    hit/miss counters cover the whole run); ``progress`` reaches every
+    driver that sweeps through the orchestrator (the replay-based
+    figures 5/6 have no cells to report).
+    """
     accepted = inspect.signature(fn).parameters
     candidates: Dict[str, object] = {
         "workloads": _split_names(args.workloads),
@@ -292,8 +321,9 @@ def _figure_kwargs(
         "jobs": args.jobs,
         # False (from --no-cache) must reach the driver explicitly,
         # otherwise resolve_cache would fall back to REPRO_CACHE.
-        "cache": _cache_from_args(args),
+        "cache": cache if cache is not None else _cache_from_args(args),
         "backend": backend,
+        "progress": progress,
     }
     return {
         name: value
@@ -323,17 +353,86 @@ def cmd_figures(args: argparse.Namespace) -> int:
         return _bad_backend(exc)
     out_dir = Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
+    progress = _progress_printer(not args.quiet)
     try:
         for name in names:
             fn = FIGURES[name]
             print(f"== {name}: {fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}")
-            data = fn(**_figure_kwargs(fn, args, backend))
+            data = fn(**_figure_kwargs(fn, args, backend, progress=progress))
             path = out_dir / f"{name}.json"
             path.write_text(json.dumps(data, indent=2, default=str))
             print(f"   wrote {path}")
     finally:
         if backend is not None:
             backend.close()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render figures to SVG and assemble the paper-fidelity report."""
+    try:
+        if args.workloads:
+            args.workloads = [canonical_workload(w)
+                              for w in _split_names(args.workloads)]
+    except KeyError as exc:
+        return _bad_name(exc)
+    names = (_split_names(args.names) or []) + (_split_names(args.figures) or [])
+    names = list(dict.fromkeys(names)) or sorted(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    try:
+        backend = _backend_from_args(args)
+    except ValueError as exc:
+        return _bad_backend(exc)
+    out_dir = Path(args.output)
+    builder = ReportBuilder(out_dir, names)
+    printer = _progress_printer(not args.quiet)
+
+    def progress(job: SweepJob, source: str) -> None:
+        if printer is not None:
+            printer(job, source)
+        builder.cell_completed(job, source)
+
+    store = _cache_from_args(args)
+    failures: List[str] = []
+    try:
+        for name in names:
+            fn = FIGURES[name]
+            print(f"== {name}: {fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}")
+            builder.figure_started(name)
+            kwargs = _figure_kwargs(fn, args, backend, cache=store,
+                                    progress=progress)
+            # One umbrella per figure: a failure anywhere -- driver,
+            # JSON write, shaping, SVG render, fidelity scoring -- is
+            # recorded as that figure's FAILED section and the report
+            # moves on to the next figure.
+            try:
+                data = fn(**kwargs)
+                (out_dir / f"{name}.json").write_text(
+                    json.dumps(data, indent=2, default=str)
+                )
+                builder.figure_finished(name, data)
+            except Exception:  # noqa: BLE001 - recorded, reported, non-zero exit
+                builder.figure_failed(name, traceback.format_exc())
+                failures.append(name)
+                print(f"   FAILED (see {out_dir / 'REPORT.md'})",
+                      file=sys.stderr)
+                continue
+            rendered = ", ".join(f for f, _svg in builder.svg_files[name])
+            print(f"   rendered {rendered or 'report section'}")
+    finally:
+        if backend is not None:
+            backend.close()
+        builder.render()
+    _print_cache_summary(store, backend)
+    print(f"report: {out_dir / 'REPORT.md'} + {out_dir / 'REPORT.html'}")
+    if failures:
+        print(f"error: {len(failures)} figure(s) failed: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -437,6 +536,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for per-figure JSON (default figures_out)")
     _add_common_run_options(p_fig)
     p_fig.set_defaults(func=cmd_figures)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="render figures to SVG and build REPORT.md/REPORT.html "
+             "with a reproduced-vs-paper fidelity table",
+    )
+    p_rep.add_argument("names", nargs="*", default=None,
+                       help=f"figures to include (default all): "
+                            f"{', '.join(sorted(FIGURES))}")
+    p_rep.add_argument("--figures", action="append", default=None,
+                       metavar="NAME,...",
+                       help="comma-separated figure ids (alternative to "
+                            "the positional list)")
+    p_rep.add_argument("--workloads", action="append", default=None,
+                       help="restrict sweeps to these workloads "
+                            "(comma-separated or repeated)")
+    p_rep.add_argument("--output", "-o", default="report_out",
+                       help="directory for REPORT.md/REPORT.html, SVGs and "
+                            "per-figure JSON (default report_out)")
+    _add_common_run_options(p_rep)
+    p_rep.set_defaults(func=cmd_report)
 
     p_worker = sub.add_parser(
         "worker", help="serve sweep cells to a distributed coordinator"

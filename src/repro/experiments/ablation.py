@@ -27,6 +27,7 @@ def prefetch_ablation(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Base-CSSD with and without next-page prefetch.
 
@@ -41,7 +42,8 @@ def prefetch_ablation(
                 wl, "Base-CSSD", records_per_thread=records,
                 ssd_overrides={"prefetch_depth": depth},
             ))
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
+                           progress=progress))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
         with_pf = next(sweep).stats
@@ -62,6 +64,7 @@ def promotion_threshold_sweep(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[int, Dict[str, float]]:
     """How the §III-C hotness threshold trades promotion precision
     against churn: too low promotes lukewarm pages (migration overhead),
@@ -74,7 +77,8 @@ def promotion_threshold_sweep(
         )
         for threshold in thresholds
     ]
-    sweep = run_sweep(specs, jobs=jobs, cache=cache, backend=backend)
+    sweep = run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
+                      progress=progress)
     rows: Dict[int, Dict[str, float]] = {}
     for threshold, result in zip(thresholds, sweep):
         stats = result.stats
@@ -94,6 +98,7 @@ def persistence_interval_sweep(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[float, Dict[str, float]]:
     """The baseline's dirty-flush interval: tighter durability means more
     flash programs (0 disables the flush entirely -- the volatile-cache
@@ -106,7 +111,8 @@ def persistence_interval_sweep(
         )
         for interval in intervals_us
     ]
-    sweep = run_sweep(specs, jobs=jobs, cache=cache, backend=backend)
+    sweep = run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
+                      progress=progress)
     rows: Dict[float, Dict[str, float]] = {}
     for interval, result in zip(intervals_us, sweep):
         stats = result.stats

@@ -227,7 +227,13 @@ class DistributedBackend(SweepBackend):
     for the surviving workers.  A cell that *fails on* a worker (the
     worker replied with an error) raises, exactly like a crashed pool
     worker would.  All ``finish`` callbacks happen on the caller's
-    thread.
+    thread, exactly once per cell -- the per-cell progress contract
+    ``run_sweep`` exposes holds here like on the local backends.
+
+    Workers may answer a cell from their own result cache (a shared
+    ``--cache-dir``); such replies are tallied in
+    :attr:`remote_cache_hits` (lifetime counter) so sweeps can report
+    how much of the work the worker-side cache absorbed.
     """
 
     name = "distributed"
@@ -246,6 +252,7 @@ class DistributedBackend(SweepBackend):
             )
         self.workers = [parse_address(w) for w in (workers or [])]
         self.connect_timeout = connect_timeout
+        self.remote_cache_hits = 0
         self._listener: Optional[socket.socket] = None
         if listen is not None:
             self._listener = socket.create_server(parse_address(listen))
@@ -299,7 +306,9 @@ class DistributedBackend(SweepBackend):
                 if reply is None:
                     raise ConnectionError(f"worker {label} closed mid-cell")
                 if reply.get("ok"):
-                    events.put(("ok", key, reply["result"]))
+                    events.put(
+                        ("ok", key, reply["result"], bool(reply.get("cached")))
+                    )
                 else:
                     events.put(("fail", key, str(reply.get("error", "?"))))
                 current = None
@@ -407,9 +416,11 @@ class DistributedBackend(SweepBackend):
                     )
                 kind = event[0]
                 if kind == "ok":
-                    _, key, payload = event
+                    _, key, payload, was_cached = event
                     if key in remaining:
                         remaining.discard(key)
+                        if was_cached:
+                            self.remote_cache_hits += 1
                         finish(key, RunResult.from_dict(payload))
                 elif kind == "fail":
                     _, key, error = event

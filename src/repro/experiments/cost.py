@@ -20,6 +20,17 @@ from repro.workloads.suites import WORKLOAD_NAMES
 DDR5_COST_PER_GB = 4.28
 ULL_SSD_COST_PER_GB = 0.27
 
+#: Paper-reported headline numbers (SS VI-B) for the fidelity report:
+#: the 15.9x DRAM:flash price ratio, SkyByte-Full reaching 75% of
+#: DRAM-Only performance, and the resulting 11.8x cost-effectiveness.
+PAPER_EXPECTED = {
+    "cost": {
+        "cost_ratio": 15.9,
+        "performance_fraction_geomean": 0.75,
+        "cost_effectiveness": 11.8,
+    },
+}
+
 
 @dataclass
 class CostModel:
@@ -64,6 +75,7 @@ def cost_effectiveness(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, object]:
     """Measured performance-per-dollar of SkyByte-Full vs DRAM-Only.
 
@@ -79,6 +91,7 @@ def cost_effectiveness(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     ))
     fractions: Dict[str, float] = {}
     product = 1.0

@@ -25,6 +25,7 @@ def fig23_migration_mechanisms(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 23: normalized execution time, SkyByte-C = 1.0 (lower is
     better)."""
@@ -36,6 +37,7 @@ def fig23_migration_mechanisms(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:

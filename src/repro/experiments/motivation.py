@@ -17,6 +17,19 @@ from repro.sim.stats import LocalityTracker
 from repro.ssd.base_cache import SetAssociativePageCache
 from repro.workloads.suites import WORKLOAD_NAMES, get_model, representative_four
 
+#: Paper-reported reference points (SS II-C), consumed by the fidelity
+#: report (:mod:`repro.figures.fidelity`): the Fig. 2 slowdown range,
+#: the Fig. 3 fast-served fraction, and the Fig. 4 memory-boundedness
+#: ranges (DRAM and CXL-SSD, min..max over the seven workloads).
+PAPER_EXPECTED = {
+    "fig2": {"slowdown_min": 1.5, "slowdown_max": 31.4},
+    "fig3": {"cssd_fast_fraction": 0.90},
+    "fig4": {
+        "dram_memory_bound": (0.629, 0.987),
+        "cssd_memory_bound": (0.77, 0.998),
+    },
+}
+
 
 def fig2_dram_vs_cssd(
     workloads: Optional[Sequence[str]] = None,
@@ -24,6 +37,7 @@ def fig2_dram_vs_cssd(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 2: normalized execution time of Base-CSSD over DRAM.
 
@@ -38,6 +52,7 @@ def fig2_dram_vs_cssd(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
@@ -57,6 +72,7 @@ def fig3_latency_distribution(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, object]]:
     """Fig. 3: off-chip latency distribution, DRAM vs CXL-SSD.
 
@@ -74,6 +90,7 @@ def fig3_latency_distribution(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     ))
     rows: Dict[str, Dict[str, object]] = {}
     for wl in workloads:
@@ -97,6 +114,7 @@ def fig4_boundedness(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 4: memory- vs compute-bounded cycle fractions.
 
@@ -111,6 +129,7 @@ def fig4_boundedness(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:

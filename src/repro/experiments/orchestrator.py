@@ -466,7 +466,14 @@ def run_sweep(
             in-process; default ``REPRO_JOBS`` or 1).
         cache: see :func:`resolve_cache`.
         progress: optional callback invoked per completed cell with the
-            job and its source (``"cache"`` or ``"run"``).
+            job and its source (``"cache"`` or ``"run"``).  The contract
+            holds on **every** backend: the callback fires exactly once
+            per distinct cell, always from the calling thread (backends
+            deliver results to ``finish`` on the caller's thread), and
+            cache-served cells fire before any backend execution starts.
+            Incremental consumers -- the figure drivers thread this
+            through to ``python -m repro report``, which rewrites the
+            report after each cell -- need no locking.
         backend: a :class:`~repro.experiments.backends.SweepBackend`, a
             backend name (``local``/``thread``/``serial``/
             ``distributed``), or None for the ``REPRO_BENCH_BACKEND``

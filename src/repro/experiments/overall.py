@@ -13,7 +13,9 @@ out.
 
 Every function fans its independent (workload, variant) cells out
 through :func:`repro.experiments.orchestrator.run_sweep`; pass ``jobs``
-to parallelise and ``cache`` to reuse previously simulated cells.
+to parallelise, ``cache`` to reuse previously simulated cells, and
+``progress`` to observe every finished cell (the hook ``python -m repro
+report`` uses for incremental reporting).
 """
 
 from __future__ import annotations
@@ -25,6 +27,20 @@ from repro.experiments.runner import default_records
 from repro.variants import MAIN_VARIANTS
 from repro.workloads.suites import WORKLOAD_NAMES
 
+#: Paper-reported reference points (SS VI-B/C) for the fidelity report:
+#: Fig. 14's 6.11x geometric-mean speedup of SkyByte-Full over
+#: Base-CSSD, and Table III's per-workload average flash read latency
+#: in microseconds.
+PAPER_EXPECTED = {
+    "fig14": {"skybyte_full_geomean_speedup": 6.11},
+    "table3": {
+        "read_latency_us": {
+            "bc": 3.5, "bfs-dense": 25.7, "dlrm": 3.4, "radix": 4.9,
+            "srad": 22.5, "tpcc": 19.6, "ycsb": 3.3,
+        },
+    },
+}
+
 
 def fig14_overall(
     workloads: Optional[Sequence[str]] = None,
@@ -33,6 +49,7 @@ def fig14_overall(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 14: normalized execution time of every design vs Base-CSSD.
 
@@ -49,6 +66,7 @@ def fig14_overall(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     )
     rows: Dict[str, Dict[str, float]] = {}
     it = iter(sweep)
@@ -71,6 +89,7 @@ def fig15_thread_scaling(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Fig. 15: SkyByte-Full throughput and SSD bandwidth vs threads.
 
@@ -91,7 +110,8 @@ def fig15_thread_scaling(
             )
             for threads in thread_counts
         )
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
+                           progress=progress))
     rows: Dict[str, Dict[int, Dict[str, float]]] = {}
     for wl in workloads:
         baseline = next(sweep)
@@ -118,6 +138,7 @@ def fig16_request_breakdown(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 16: fraction of requests per class (H-R/W, S-R-H, S-R-M, S-W)
     under the full SkyByte design."""
@@ -128,6 +149,7 @@ def fig16_request_breakdown(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     )
     return {wl: r.stats.request_breakdown() for wl, r in zip(workloads, sweep)}
 
@@ -139,6 +161,7 @@ def fig17_amat(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 17: AMAT and its component breakdown per design.
 
@@ -158,6 +181,7 @@ def fig17_amat(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     ))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
@@ -178,6 +202,7 @@ def fig18_write_traffic(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 18: flash write traffic normalized to Base-CSSD.
 
@@ -194,6 +219,7 @@ def fig18_write_traffic(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
@@ -215,6 +241,7 @@ def table3_flash_read_latency(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, float]:
     """Table III: average flash read latency (us) under SkyByte-WP.
 
@@ -229,6 +256,7 @@ def table3_flash_read_latency(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        progress=progress,
     )
     return {
         wl: r.stats.flash_read_latency.mean / 1000.0

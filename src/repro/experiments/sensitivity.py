@@ -37,6 +37,7 @@ def _log_size_sweep(
     jobs: Optional[int],
     cache: object,
     backend: object,
+    progress: object = None,
 ) -> Dict[str, Dict[int, "object"]]:
     """One SkyByte-Full run per (workload, log size), as a nested dict."""
     specs = [
@@ -46,7 +47,8 @@ def _log_size_sweep(
         for wl in workloads
         for size in log_sizes
     ]
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
+                           progress=progress))
     return {wl: {size: next(sweep) for size in log_sizes} for wl in workloads}
 
 
@@ -57,6 +59,7 @@ def fig19_log_size_performance(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig. 19: SkyByte-Full execution time vs write-log size (total SSD
     DRAM fixed).  Normalized to the largest log.  Paper shape: a log of
@@ -64,7 +67,8 @@ def fig19_log_size_performance(
     workloads."""
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
-    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache, backend)
+    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache,
+                            backend, progress)
     rows: Dict[str, Dict[int, float]] = {}
     for wl in workloads:
         ref_ipns = None
@@ -85,13 +89,15 @@ def fig20_log_size_traffic(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig. 20: flash write traffic vs write-log size, normalized to the
     smallest log.  Paper shape: traffic falls steeply as the log (and so
     the coalescing window) grows."""
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
-    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache, backend)
+    cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache,
+                            backend, progress)
     rows: Dict[str, Dict[int, float]] = {}
     for wl in workloads:
         ref_rate = None
@@ -114,6 +120,7 @@ def fig21_dram_size(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Fig. 21: execution time vs SSD DRAM cache size per design.
 
@@ -141,7 +148,8 @@ def fig21_dram_size(
             for variant in variants
             for size in sizes
         )
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
+                           progress=progress))
     rows: Dict[str, Dict[str, Dict[int, float]]] = {}
     for wl in workloads:
         ref = next(sweep)
@@ -165,6 +173,7 @@ def fig22_flash_latency(
     jobs: Optional[int] = None,
     cache: object = None,
     backend: object = None,
+    progress: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 22: performance with ULL/ULL2/SLC/MLC flash.
 
@@ -197,7 +206,8 @@ def fig22_flash_latency(
                 )
                 for threads in thread_counts
             )
-    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend))
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
+                           progress=progress))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
         ref = next(sweep)

@@ -1,0 +1,47 @@
+"""Figure rendering and paper-fidelity reporting.
+
+This subsystem turns the JSON payloads produced by the drivers in
+:mod:`repro.experiments` into human-readable evaluation artifacts,
+with no dependencies beyond the standard library (CI never needs
+matplotlib):
+
+* :mod:`repro.figures.spec` -- the chart-spec registry: figure id ->
+  paper section, chart form, and a shaper from driver JSON to charts;
+* :mod:`repro.figures.svg` -- a deterministic SVG renderer for grouped
+  bars and lines;
+* :mod:`repro.figures.fidelity` -- reproduced-vs-paper scoring against
+  the ``PAPER_EXPECTED`` annotations embedded in the drivers;
+* :mod:`repro.figures.report` -- the incremental ``REPORT.md`` /
+  ``REPORT.html`` builder behind ``python -m repro report``.
+
+See ``docs/ARCHITECTURE.md`` for where this layer sits and
+``docs/FIGURES.md`` for the per-figure gallery.
+"""
+
+from repro.figures.fidelity import (
+    Expectation,
+    FidelityRow,
+    all_expectations,
+    classify,
+    evaluate,
+    expectations_for,
+)
+from repro.figures.report import ReportBuilder
+from repro.figures.spec import SPECS, ChartSpec, shape_figure
+from repro.figures.svg import Chart, Series, render_chart
+
+__all__ = [
+    "Chart",
+    "ChartSpec",
+    "Expectation",
+    "FidelityRow",
+    "ReportBuilder",
+    "SPECS",
+    "Series",
+    "all_expectations",
+    "classify",
+    "evaluate",
+    "expectations_for",
+    "render_chart",
+    "shape_figure",
+]

@@ -1,0 +1,265 @@
+"""Assemble rendered figures + fidelity table into REPORT.md/REPORT.html.
+
+:class:`ReportBuilder` is the consumer of the orchestrator's per-cell
+progress callback: ``python -m repro report`` wires
+:meth:`ReportBuilder.cell_completed` into every figure driver's
+``progress=`` argument, so the report on disk is **rewritten after
+every finished simulation cell** -- a long sweep can be watched by
+refreshing ``REPORT.md`` (the status section counts cells and names
+the figure in flight, finished figures are already rendered, pending
+ones say so).  Both report files are written atomically (tmp + rename),
+so a reader never sees a torn document, no matter which backend is
+executing cells.
+
+Outputs, all under one directory:
+
+* ``REPORT.md`` -- status, fidelity table, one section per figure
+  referencing its ``<figure>.svg`` files;
+* ``REPORT.html`` -- the same content as a standalone page with every
+  SVG inlined (the single-file artifact CI uploads);
+* ``<figure>.svg`` (or ``<figure>_N.svg`` for faceted figures) -- the
+  charts themselves, written as each figure finishes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.figures.fidelity import FidelityRow, evaluate, expectations_for
+from repro.figures.spec import SPECS, shape_figure
+from repro.figures.svg import render_chart
+
+_STATE_LABEL = {
+    "pending": "pending",
+    "running": "running ...",
+    "done": "done",
+    "failed": "FAILED",
+}
+
+
+def _fmt_num(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.4g}"
+
+
+def _fmt_delta(delta: Optional[float]) -> str:
+    return "-" if delta is None else f"{delta:+.1%}"
+
+
+def _escape_html(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _atomic_write(path: Path, content: str) -> None:
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(content, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class ReportBuilder:
+    """Incrementally materialise the fidelity report for a figure list."""
+
+    def __init__(self, out_dir, figures: Sequence[str],
+                 title: str = "SkyByte reproduction report") -> None:
+        unknown = [f for f in figures if f not in SPECS]
+        if unknown:
+            raise KeyError(f"no chart spec for figure(s): {', '.join(unknown)}")
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.title = title
+        self.figures = list(figures)
+        self.state: Dict[str, str] = {f: "pending" for f in self.figures}
+        self.errors: Dict[str, str] = {}
+        self.svg_files: Dict[str, List[Tuple[str, str]]] = {}
+        self.fidelity: Dict[str, List[FidelityRow]] = {}
+        self.cells_run = 0
+        self.cells_cached = 0
+        self._current: Optional[str] = None
+
+    # -- lifecycle hooks ---------------------------------------------------
+
+    def figure_started(self, figure: str) -> None:
+        self.state[figure] = "running"
+        self._current = figure
+        self.render()
+
+    def figure_finished(self, figure: str, data: object) -> None:
+        charts = shape_figure(figure, data)
+        files: List[Tuple[str, str]] = []
+        for i, chart in enumerate(charts):
+            name = (f"{figure}.svg" if len(charts) == 1
+                    else f"{figure}_{i + 1}.svg")
+            svg = render_chart(chart)
+            _atomic_write(self.out_dir / name, svg)
+            files.append((name, svg))
+        self.svg_files[figure] = files
+        self.fidelity[figure] = evaluate(figure, data)
+        self.state[figure] = "done"
+        if self._current == figure:
+            self._current = None
+        self.render()
+
+    def figure_failed(self, figure: str, error: str) -> None:
+        self.state[figure] = "failed"
+        self.errors[figure] = error
+        if self._current == figure:
+            self._current = None
+        self.render()
+
+    def cell_completed(self, job, source: str) -> None:
+        """``run_sweep`` progress hook: one finished simulation cell."""
+        if source == "cache":
+            self.cells_cached += 1
+        else:
+            self.cells_run += 1
+        self.render()
+
+    # -- document assembly -------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return all(s in ("done", "failed") for s in self.state.values())
+
+    def status_line(self) -> str:
+        done = sum(1 for s in self.state.values() if s == "done")
+        failed = sum(1 for s in self.state.values() if s == "failed")
+        total = len(self.figures)
+        cells = (f"{self.cells_run + self.cells_cached} cell(s) finished "
+                 f"({self.cells_cached} from cache)")
+        if self.complete:
+            tail = f", {failed} failed" if failed else ""
+            return f"Complete: {done}/{total} figure(s) rendered{tail}; {cells}."
+        current = f", now running **{self._current}**" if self._current else ""
+        return (f"In progress: {done}/{total} figure(s) rendered"
+                f"{current}; {cells}. This file is rewritten after every "
+                f"cell -- refresh to watch.")
+
+    def _fidelity_rows(self) -> List[FidelityRow]:
+        rows: List[FidelityRow] = []
+        for figure in self.figures:
+            if figure in self.fidelity:
+                rows.extend(self.fidelity[figure])
+            else:
+                rows.extend(
+                    FidelityRow(exp.figure, exp.metric, exp.paper, None,
+                                None, _STATE_LABEL[self.state[figure]],
+                                exp.note)
+                    for exp in expectations_for(figure)
+                )
+        return rows
+
+    def markdown(self) -> str:
+        lines = [f"# {self.title}", "", self.status_line(), ""]
+        rows = self._fidelity_rows()
+        lines += ["## Fidelity vs. the paper", ""]
+        if rows:
+            lines += [
+                "Relative delta `(reproduced - paper) / |paper|`; `pass` "
+                "within 25%, `warn` within 150% (expected at this scale), "
+                "`off` beyond, `n/a` not measurable from this run. See "
+                "`docs/FIGURES.md`.",
+                "",
+                "| figure | metric | paper | reproduced | delta | status |",
+                "| --- | --- | ---: | ---: | ---: | --- |",
+            ]
+            lines += [
+                f"| {r.figure} | {r.metric} | {_fmt_num(r.paper)} "
+                f"| {_fmt_num(r.reproduced)} | {_fmt_delta(r.delta)} "
+                f"| {r.status} |"
+                for r in rows
+            ]
+        else:
+            lines.append("No paper expectations registered for the "
+                         "selected figures.")
+        lines += ["", "## Figures", ""]
+        for figure in self.figures:
+            spec = SPECS[figure]
+            state = self.state[figure]
+            lines.append(f"### {figure} -- {spec.title} ({spec.section})")
+            lines += ["", spec.description, ""]
+            if state == "done":
+                lines += [f"![{figure}]({name})" for name, _svg in
+                          self.svg_files[figure]]
+            elif state == "failed":
+                lines += ["```", self.errors[figure].strip(), "```"]
+            else:
+                lines.append(f"*{_STATE_LABEL[state]}*")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def html(self) -> str:
+        rows = self._fidelity_rows()
+        parts = [
+            "<!DOCTYPE html>",
+            '<html lang="en"><head><meta charset="utf-8">',
+            f"<title>{_escape_html(self.title)}</title>",
+            "<style>",
+            "body{font-family:system-ui,sans-serif;margin:2rem auto;"
+            "max-width:72rem;padding:0 1rem;color:#0b0b0b;"
+            "background:#fcfcfb}",
+            "table{border-collapse:collapse;font-size:0.85rem}",
+            "th,td{border:1px solid #d9d8d3;padding:0.3rem 0.6rem;"
+            "text-align:left}",
+            "td.num{text-align:right;font-variant-numeric:tabular-nums}",
+            ".pass{color:#006100}.warn{color:#8a5a00}.off{color:#a11a1a}",
+            "figure{margin:1rem 0}",
+            "pre{background:#f3f2ee;padding:0.6rem;overflow-x:auto}",
+            "</style></head><body>",
+            f"<h1>{_escape_html(self.title)}</h1>",
+            f"<p>{_escape_html(self.status_line()).replace('**', '')}</p>",
+            "<h2>Fidelity vs. the paper</h2>",
+        ]
+        if rows:
+            parts.append(
+                "<table><thead><tr><th>figure</th><th>metric</th>"
+                "<th>paper</th><th>reproduced</th><th>delta</th>"
+                "<th>status</th></tr></thead><tbody>"
+            )
+            for r in rows:
+                css = r.status if r.status in ("pass", "warn", "off") else ""
+                parts.append(
+                    f"<tr><td>{_escape_html(r.figure)}</td>"
+                    f"<td>{_escape_html(r.metric)}</td>"
+                    f'<td class="num">{_fmt_num(r.paper)}</td>'
+                    f'<td class="num">{_fmt_num(r.reproduced)}</td>'
+                    f'<td class="num">{_fmt_delta(r.delta)}</td>'
+                    f'<td class="{css}">{_escape_html(r.status)}</td></tr>'
+                )
+            parts.append("</tbody></table>")
+        else:
+            parts.append("<p>No paper expectations registered for the "
+                         "selected figures.</p>")
+        parts.append("<h2>Figures</h2>")
+        for figure in self.figures:
+            spec = SPECS[figure]
+            state = self.state[figure]
+            parts.append(
+                f"<h3>{_escape_html(figure)} &mdash; "
+                f"{_escape_html(spec.title)} "
+                f"({_escape_html(spec.section)})</h3>"
+            )
+            parts.append(f"<p>{_escape_html(spec.description)}</p>")
+            if state == "done":
+                for _name, svg in self.svg_files[figure]:
+                    parts.append(f"<figure>{svg}</figure>")
+            elif state == "failed":
+                parts.append(
+                    f"<pre>{_escape_html(self.errors[figure].strip())}</pre>"
+                )
+            else:
+                parts.append(f"<p><em>{_STATE_LABEL[state]}</em></p>")
+        parts.append("</body></html>")
+        return "\n".join(parts) + "\n"
+
+    def render(self) -> None:
+        """Rewrite REPORT.md and REPORT.html atomically."""
+        _atomic_write(self.out_dir / "REPORT.md", self.markdown())
+        _atomic_write(self.out_dir / "REPORT.html", self.html())

@@ -1,0 +1,421 @@
+"""Dependency-free SVG chart renderer (grouped bars and lines).
+
+CI and headless hosts must be able to render every paper figure, so
+this module draws charts with nothing but string formatting -- no
+matplotlib, no numpy.  Output is **deterministic**: the same
+:class:`Chart` always yields byte-identical SVG (coordinates are
+formatted with fixed precision, ticks are computed arithmetically, and
+no timestamps or random ids are emitted), which lets the test suite pin
+golden snapshots exactly like the simulator's golden fidelity pins.
+
+Two mark types cover the paper's evaluation:
+
+* ``bar`` -- grouped vertical bars (categories on x, one bar per
+  series), rounded at the data end and anchored to the zero baseline;
+* ``line`` -- polylines over numeric x (optionally log-scaled, for the
+  latency CDFs), with point markers when the series is sparse.
+
+Colors follow a fixed categorical order (never cycled); a chart that
+would need more than :data:`MAX_SERIES` series must be split into small
+multiples by its spec instead (see :mod:`repro.figures.spec`).  Single
+series charts carry no legend -- the title names the series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Fixed categorical hue order (validated colorblind-safe sequence for
+#: light surfaces).  Slot i always means series i -- never recycle.
+PALETTE = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+
+#: Hard cap on series per chart; specs must facet beyond this.
+MAX_SERIES = len(PALETTE)
+
+SURFACE = "#fcfcfb"
+INK = "#0b0b0b"
+INK_MUTED = "#52514e"
+GRID = "#e9e8e4"
+AXIS = "#b5b4ae"
+
+FONT = "system-ui, -apple-system, 'Segoe UI', sans-serif"
+
+WIDTH = 640
+HEIGHT = 360
+MARGIN_LEFT = 58
+MARGIN_RIGHT = 18
+MARGIN_TOP = 30
+MARGIN_BOTTOM = 48
+LEGEND_ROW_H = 16
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted series.
+
+    Bar charts use ``values`` (aligned with the chart's ``categories``,
+    ``None`` for a missing cell); line charts use ``points`` as (x, y)
+    pairs.
+    """
+
+    label: str
+    values: Tuple[Optional[float], ...] = ()
+    points: Tuple[Tuple[float, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class Chart:
+    """A renderable chart: marks plus every label the reader needs."""
+
+    title: str
+    kind: str  # "bar" | "line"
+    series: Tuple[Series, ...]
+    categories: Tuple[str, ...] = ()  # bar charts only
+    x_label: str = ""
+    y_label: str = ""
+    log_x: bool = False
+    subtitle: str = ""
+
+    def validate(self) -> None:
+        if self.kind not in ("bar", "line"):
+            raise ValueError(f"unknown chart kind {self.kind!r}")
+        if len(self.series) > MAX_SERIES:
+            raise ValueError(
+                f"{len(self.series)} series exceeds the {MAX_SERIES}-color "
+                f"palette; split {self.title!r} into small multiples"
+            )
+        if self.kind == "bar":
+            for s in self.series:
+                if len(s.values) != len(self.categories):
+                    raise ValueError(
+                        f"series {s.label!r} has {len(s.values)} values for "
+                        f"{len(self.categories)} categories"
+                    )
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (determinism)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _fmt_tick(value: float) -> str:
+    """Human tick label: trims float noise, keeps magnitude readable."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.001:
+        return f"{value:.0e}".replace("e+0", "e").replace("e-0", "e-")
+    text = f"{value:.4g}"
+    return text
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _nice_step(rough: float) -> float:
+    """The nearest {1,2,5}x10^k at or above ``rough``."""
+    if rough <= 0:
+        return 1.0
+    power = math.floor(math.log10(rough))
+    base = rough / (10 ** power)
+    for mult in (1.0, 2.0, 5.0):
+        if base <= mult:
+            return mult * (10 ** power)
+    return 10.0 ** (power + 1)
+
+
+def _ticks(lo: float, hi: float, max_ticks: int = 6) -> List[float]:
+    """Nice linear ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    step = _nice_step((hi - lo) / max(1, max_ticks - 1))
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    # Bounded loop: step is a fixed fraction of the range.
+    while value <= hi + step * 0.5 and len(ticks) < max_ticks + 3:
+        if value >= lo - step * 0.5:
+            ticks.append(round(value, 12))
+        value += step
+    return ticks
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Decade ticks covering the positive range [lo, hi]."""
+    lo = max(lo, 1e-12)
+    hi = max(hi, lo * 10)
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0 ** k for k in range(first, last + 1)]
+
+
+def _bar_path(x: float, y: float, w: float, h: float, r: float) -> str:
+    """A vertical bar anchored at the baseline, rounded at the data end."""
+    r = max(0.0, min(r, w / 2.0, h))
+    return (
+        f"M{_fmt(x)},{_fmt(y + h)} "
+        f"V{_fmt(y + r)} Q{_fmt(x)},{_fmt(y)} {_fmt(x + r)},{_fmt(y)} "
+        f"H{_fmt(x + w - r)} Q{_fmt(x + w)},{_fmt(y)} {_fmt(x + w)},{_fmt(y + r)} "
+        f"V{_fmt(y + h)} Z"
+    )
+
+
+class _Canvas:
+    """Accumulates SVG elements; knows the plot rectangle."""
+
+    def __init__(self, chart: Chart) -> None:
+        self.chart = chart
+        legend_rows = self._legend_rows()
+        self.top = MARGIN_TOP + (14 if chart.subtitle else 0) \
+            + legend_rows * LEGEND_ROW_H
+        self.left = MARGIN_LEFT
+        self.right = WIDTH - MARGIN_RIGHT
+        self.bottom = HEIGHT - MARGIN_BOTTOM
+        self.parts: List[str] = []
+
+    def _legend_rows(self) -> int:
+        if len(self.chart.series) < 2:
+            return 0
+        per_row = self._legend_layout()[1]
+        return math.ceil(len(self.chart.series) / per_row)
+
+    def _legend_layout(self) -> Tuple[List[int], int]:
+        """(item widths, items per row) under an approximate font metric."""
+        widths = [18 + 7 * len(s.label) + 14 for s in self.chart.series]
+        avail = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+        widest = max(widths) if widths else 1
+        per_row = max(1, avail // widest)
+        return widths, per_row
+
+    # -- element emitters --------------------------------------------------
+
+    def add(self, element: str) -> None:
+        self.parts.append(element)
+
+    def text(self, x: float, y: float, content: str, size: int = 11,
+             fill: str = INK_MUTED, anchor: str = "start",
+             weight: str = "normal", rotate: Optional[float] = None) -> None:
+        transform = ""
+        if rotate is not None:
+            transform = f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"'
+        weight_attr = f' font-weight="{weight}"' if weight != "normal" else ""
+        self.add(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{size}"'
+            f' fill="{fill}" text-anchor="{anchor}"{weight_attr}{transform}>'
+            f"{_escape(content)}</text>"
+        )
+
+    def chrome(self) -> None:
+        """Title, subtitle, legend."""
+        chart = self.chart
+        self.text(MARGIN_LEFT, 18, chart.title, size=13, fill=INK,
+                  weight="600")
+        y = 18
+        if chart.subtitle:
+            y += 14
+            self.text(MARGIN_LEFT, y, chart.subtitle, size=10)
+        if len(chart.series) >= 2:
+            widths, per_row = self._legend_layout()
+            x = float(MARGIN_LEFT)
+            row_y = y + 14
+            col = 0
+            for i, series in enumerate(chart.series):
+                if col == per_row:
+                    col = 0
+                    x = float(MARGIN_LEFT)
+                    row_y += LEGEND_ROW_H
+                color = PALETTE[i]
+                self.add(
+                    f'<rect x="{_fmt(x)}" y="{_fmt(row_y - 8)}" width="10"'
+                    f' height="10" rx="2" fill="{color}"/>'
+                )
+                self.text(x + 14, row_y, series.label, size=10, fill=INK)
+                x += widths[i]
+                col += 1
+
+    def y_axis(self, lo: float, hi: float) -> Tuple[float, float]:
+        """Draw grid + y tick labels; returns the (lo, hi) actually used."""
+        ticks = _ticks(lo, hi)
+        lo = min(lo, ticks[0])
+        hi = max(hi, ticks[-1])
+        span = max(hi - lo, 1e-12)
+        for tick in ticks:
+            py = self.bottom - (tick - lo) / span * (self.bottom - self.top)
+            self.add(
+                f'<line x1="{_fmt(self.left)}" y1="{_fmt(py)}"'
+                f' x2="{_fmt(self.right)}" y2="{_fmt(py)}"'
+                f' stroke="{GRID}" stroke-width="1"/>'
+            )
+            self.text(self.left - 6, py + 3, _fmt_tick(tick), size=10,
+                      anchor="end")
+        if self.chart.y_label:
+            self.text(14, (self.top + self.bottom) / 2, self.chart.y_label,
+                      size=11, anchor="middle", rotate=-90.0)
+        return lo, hi
+
+    def x_axis_line(self) -> None:
+        self.add(
+            f'<line x1="{_fmt(self.left)}" y1="{_fmt(self.bottom)}"'
+            f' x2="{_fmt(self.right)}" y2="{_fmt(self.bottom)}"'
+            f' stroke="{AXIS}" stroke-width="1"/>'
+        )
+
+    def x_title(self) -> None:
+        if self.chart.x_label:
+            self.text((self.left + self.right) / 2, HEIGHT - 8,
+                      self.chart.x_label, size=11, anchor="middle")
+
+    def render(self) -> str:
+        body = "\n".join(self.parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}"'
+            f' height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}"'
+            f' font-family="{FONT}" role="img"'
+            f' aria-label="{_escape(self.chart.title)}">\n'
+            f'<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def _render_bars(chart: Chart) -> str:
+    canvas = _Canvas(chart)
+    canvas.chrome()
+    values = [v for s in chart.series for v in s.values if v is not None]
+    hi = max(values, default=1.0)
+    lo = min(0.0, min(values, default=0.0))
+    lo, hi = canvas.y_axis(lo, hi * 1.05 if hi > 0 else 1.0)
+    span = max(hi - lo, 1e-12)
+    n_cat = max(1, len(chart.categories))
+    slot = (canvas.right - canvas.left) / n_cat
+    group_w = slot * 0.72
+    n_series = max(1, len(chart.series))
+    bar_w = group_w / n_series
+    gap = 2.0 if bar_w > 6 else 0.0
+    zero_y = canvas.bottom - (0.0 - lo) / span * (canvas.bottom - canvas.top)
+    for ci, category in enumerate(chart.categories):
+        gx = canvas.left + slot * ci + (slot - group_w) / 2
+        for si, series in enumerate(chart.series):
+            value = series.values[ci]
+            if value is None:
+                continue
+            top_v = max(value, 0.0)
+            py = canvas.bottom - (top_v - lo) / span * (canvas.bottom - canvas.top)
+            height = abs(zero_y - py)
+            if value < 0:
+                py = zero_y
+                height = (
+                    (0.0 - value) / span * (canvas.bottom - canvas.top)
+                )
+            x = gx + si * bar_w + gap / 2
+            canvas.add(
+                f'<path d="{_bar_path(x, py, bar_w - gap, height, 3.0)}"'
+                f' fill="{PALETTE[si]}"/>'
+            )
+        label = category
+        rotate = None
+        anchor = "middle"
+        if n_cat > 6 or max(len(c) for c in chart.categories) > 8:
+            rotate = -30.0
+            anchor = "end"
+        canvas.text(gx + group_w / 2, canvas.bottom + 14, label, size=10,
+                    anchor=anchor, rotate=rotate)
+    canvas.x_axis_line()
+    canvas.x_title()
+    return canvas.render()
+
+
+def _x_positions(chart: Chart, canvas: _Canvas) -> Tuple[float, float]:
+    xs = [x for s in chart.series for x, _y in s.points]
+    lo, hi = (min(xs), max(xs)) if xs else (0.0, 1.0)
+    if chart.log_x:
+        lo = max(lo, 1e-12)
+        hi = max(hi, lo * 10)
+    elif hi <= lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def _render_lines(chart: Chart) -> str:
+    canvas = _Canvas(chart)
+    canvas.chrome()
+    ys = [y for s in chart.series for _x, y in s.points]
+    y_lo, y_hi = canvas.y_axis(min(0.0, min(ys, default=0.0)),
+                               max(ys, default=1.0) * 1.05 or 1.0)
+    y_span = max(y_hi - y_lo, 1e-12)
+    x_lo, x_hi = _x_positions(chart, canvas)
+
+    def px(x: float) -> float:
+        if chart.log_x:
+            frac = (math.log10(max(x, 1e-12)) - math.log10(x_lo)) / max(
+                math.log10(x_hi) - math.log10(x_lo), 1e-12
+            )
+        else:
+            frac = (x - x_lo) / max(x_hi - x_lo, 1e-12)
+        return canvas.left + frac * (canvas.right - canvas.left)
+
+    def py(y: float) -> float:
+        return canvas.bottom - (y - y_lo) / y_span * (canvas.bottom - canvas.top)
+
+    # x ticks: the data's own x values when few, else nice/log ticks.
+    distinct = sorted({x for s in chart.series for x, _y in s.points})
+    if 0 < len(distinct) <= 8:
+        x_ticks = distinct
+    elif chart.log_x:
+        x_ticks = _log_ticks(x_lo, x_hi)
+    else:
+        x_ticks = _ticks(x_lo, x_hi)
+    for tick in x_ticks:
+        if tick < x_lo - 1e-9 or tick > x_hi * (1.0 + 1e-9) + 1e-9:
+            continue
+        tx = px(tick)
+        canvas.add(
+            f'<line x1="{_fmt(tx)}" y1="{_fmt(canvas.bottom)}"'
+            f' x2="{_fmt(tx)}" y2="{_fmt(canvas.bottom + 4)}"'
+            f' stroke="{AXIS}" stroke-width="1"/>'
+        )
+        canvas.text(tx, canvas.bottom + 16, _fmt_tick(tick), size=10,
+                    anchor="middle")
+    for si, series in enumerate(chart.series):
+        if not series.points:
+            continue
+        pts = sorted(series.points)
+        coords = " ".join(f"{_fmt(px(x))},{_fmt(py(y))}" for x, y in pts)
+        canvas.add(
+            f'<polyline points="{coords}" fill="none" stroke="{PALETTE[si]}"'
+            f' stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+        if len(pts) <= 12:
+            for x, y in pts:
+                canvas.add(
+                    f'<circle cx="{_fmt(px(x))}" cy="{_fmt(py(y))}" r="4"'
+                    f' fill="{PALETTE[si]}" stroke="{SURFACE}"'
+                    f' stroke-width="2"/>'
+                )
+    canvas.x_axis_line()
+    canvas.x_title()
+    return canvas.render()
+
+
+def render_chart(chart: Chart) -> str:
+    """Render one :class:`Chart` to a standalone SVG document string."""
+    chart.validate()
+    if chart.kind == "bar":
+        return _render_bars(chart)
+    return _render_lines(chart)
