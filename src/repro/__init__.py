@@ -34,11 +34,14 @@ from repro.config import (
     paper_config,
     scaled_config,
 )
+from repro.experiments.backends import CellPolicy
 from repro.experiments.orchestrator import (
+    CellUpdate,
     ResultCache,
     SweepJob,
     run_pairs,
     run_sweep,
+    stream_sweep,
     sweep_product,
 )
 from repro.experiments.runner import RunResult, build_config, run_workload
@@ -76,6 +79,8 @@ __all__ = [
     "SkyByteConfig",
     "paper_config",
     "scaled_config",
+    "CellPolicy",
+    "CellUpdate",
     "ResultCache",
     "RunResult",
     "SweepJob",
@@ -83,6 +88,7 @@ __all__ = [
     "run_pairs",
     "run_sweep",
     "run_workload",
+    "stream_sweep",
     "sweep_product",
     "SimStats",
     "System",

@@ -26,20 +26,30 @@ Subcommands
     re-simulating.
 ``worker``
     Serve sweep cells to a distributed coordinator over TCP: either
-    ``--listen [HOST:]PORT`` (coordinator dials with ``--workers``) or
-    ``--connect HOST:PORT`` (dial a coordinator started with
+    ``--listen [HOST:]PORT`` (coordinator dials with ``--workers``),
+    ``--listen ... --register REGHOST:REGPORT`` (announce to a worker
+    registry so coordinators discover this worker with ``--registry``),
+    or ``--connect HOST:PORT`` (dial a coordinator started with
     ``--listen``).
+``registry``
+    Run the worker registry (``--listen [HOST:]PORT``): workers
+    announce and heartbeat, coordinators discover the live fleet --
+    workers can join and leave mid-sweep (see ``docs/DISTRIBUTED.md``).
 ``cache``
     Inspect (``stats``), bound (``prune``), locate (``path``) or empty
     (``clear``) the result cache.
 
 Trace length per thread follows ``REPRO_RECORDS`` unless ``--records``
 is given; ``REPRO_JOBS`` sets the default worker count;
-``REPRO_BENCH_BACKEND``/``REPRO_BENCH_WORKERS`` the default backend;
-the cache lives in ``.repro_cache/`` (``REPRO_CACHE_DIR`` or
-``--cache-dir`` override) and is size-capped by
+``REPRO_BENCH_BACKEND``/``REPRO_BENCH_WORKERS``/``REPRO_REGISTRY`` the
+default backend; ``REPRO_CELL_TIMEOUT``/``REPRO_RETRY_BUDGET`` (or
+``--cell-timeout``/``--retry-budget``) the distributed per-cell
+reliability policy; the cache lives in ``.repro_cache/``
+(``REPRO_CACHE_DIR`` or ``--cache-dir`` override) and is size-capped by
 ``REPRO_CACHE_MAX_BYTES`` / ``--cache-max-bytes`` (0 = unbounded).
 The CLI enables the result cache by default -- ``--no-cache`` opts out.
+``sweep --stream`` emits one JSON line per completed cell (NDJSON) as
+long sweeps progress instead of waiting for the final table.
 """
 
 from __future__ import annotations
@@ -54,14 +64,20 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import ablation, cost, design, migration_study, motivation
 from repro.experiments import overall, sensitivity
-from repro.experiments.backends import DistributedBackend, resolve_backend
+from repro.experiments.backends import (
+    CellPolicy,
+    DistributedBackend,
+    resolve_backend,
+)
 from repro.experiments.orchestrator import (
     ResultCache,
     SweepJob,
     default_jobs,
     run_sweep,
+    stream_sweep,
     sweep_product,
 )
+from repro.experiments.registry import run_registry
 from repro.experiments.runner import default_records
 from repro.experiments.worker import run_worker
 from repro.figures.report import ReportBuilder
@@ -113,28 +129,52 @@ def _cache_from_args(args: argparse.Namespace) -> object:
     return ResultCache(getattr(args, "cache_dir", None), max_bytes=max_bytes)
 
 
+def _policy_from_args(args: argparse.Namespace) -> Optional[CellPolicy]:
+    """The per-cell reliability policy, or None for the env default.
+
+    ``--cell-timeout`` / ``--retry-budget`` override the corresponding
+    ``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRY_BUDGET`` values; unset
+    options keep the environment's (or built-in) defaults.
+    """
+    timeout = getattr(args, "cell_timeout", None)
+    budget = getattr(args, "retry_budget", None)
+    if timeout is None and budget is None:
+        return None
+    base = CellPolicy.from_env()
+    return CellPolicy(
+        cell_timeout=timeout if timeout is not None else base.cell_timeout,
+        retry_budget=budget if budget is not None else base.retry_budget,
+    )
+
+
 def _backend_from_args(args: argparse.Namespace) -> object:
     """The backend for run_sweep, or None for the environment default.
 
     ``--listen`` builds a coordinator workers dial in to
     (``repro worker --connect``); ``--workers`` dials listening workers;
-    ``--backend`` names the backend explicitly (``--workers`` alone
-    implies ``distributed``).
+    ``--registry`` discovers workers through a registry (elastic
+    join/leave); ``--backend`` names the backend explicitly
+    (``--workers`` or ``--registry`` alone imply ``distributed``).
     """
     listen = getattr(args, "listen", None)
     workers = _split_names(getattr(args, "workers", None))
+    registry = getattr(args, "registry", None)
     spec = getattr(args, "backend", None)
-    if listen:
-        if spec not in (None, "distributed"):
+    policy = _policy_from_args(args)
+    if listen or registry:
+        if spec not in (None, "distributed", "registry"):
             raise ValueError(
-                f"--listen is a distributed-backend option, "
+                f"--listen/--registry are distributed-backend options, "
                 f"incompatible with --backend {spec}"
             )
-        # Mixed topology: dial the named workers AND accept dial-ins.
-        return DistributedBackend(listen=listen, workers=workers or [])
+        # Mixed topology: dial the named workers, accept dial-ins, and
+        # discover registered workers -- any combination.
+        return DistributedBackend(listen=listen, workers=workers or [],
+                                  registry=registry, policy=policy)
     if spec is None and not workers:
         return None  # let run_sweep apply REPRO_BENCH_BACKEND / local
-    return resolve_backend(spec, jobs=getattr(args, "jobs", None), workers=workers)
+    return resolve_backend(spec, jobs=getattr(args, "jobs", None),
+                           workers=workers, policy=policy)
 
 
 def _print_kv(rows: Dict[str, object], indent: str = "  ") -> None:
@@ -176,7 +216,8 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default REPRO_JOBS or 1)")
     parser.add_argument("--backend", default=None,
-                        choices=["local", "thread", "serial", "distributed"],
+                        choices=["local", "thread", "serial", "distributed",
+                                 "registry"],
                         help="execution backend (default REPRO_BENCH_BACKEND "
                              "or local)")
     parser.add_argument("--workers", action="append", default=None,
@@ -186,6 +227,17 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--listen", default=None, metavar="[HOST:]PORT",
                         help="coordinate distributed workers that dial in "
                              "(started with: repro worker --connect HOST:PORT)")
+    parser.add_argument("--registry", default=None, metavar="HOST:PORT",
+                        help="discover distributed workers through a registry "
+                             "(started with: repro registry --listen PORT); "
+                             "workers may join/leave mid-sweep")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt cell timeout on distributed workers "
+                             "(default REPRO_CELL_TIMEOUT; 0 = unlimited)")
+    parser.add_argument("--retry-budget", type=int, default=None, metavar="N",
+                        help="attempts per cell before the sweep fails "
+                             "(default REPRO_RETRY_BUDGET or 3)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the result cache")
     parser.add_argument("--cache-dir", default=None,
@@ -231,7 +283,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         return _bad_backend(exc)
     result = run_sweep([job], jobs=args.jobs or 1, cache=_cache_from_args(args),
-                       backend=backend)[0]
+                       backend=backend, policy=_policy_from_args(args))[0]
     print(f"{result.workload} / {result.variant} "
           f"({result.threads} threads, {result.config.ssd.timing.name} flash)")
     _print_kv(result.stats.summary())
@@ -269,8 +321,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"sweep: {len(workloads)} workload(s) x {len(variants)} variant(s) "
           f"= {len(specs)} cell(s), {records} records/thread, jobs={jobs}, "
           f"backend={backend_label}")
-    results = run_sweep(specs, jobs=jobs, cache=store, backend=backend,
-                        progress=_progress_printer(not args.quiet))
+    policy = _policy_from_args(args)
+    if args.stream:
+        # Streaming mode: one JSON line per completed cell (NDJSON), in
+        # completion order, so long sweeps can be tailed/piped live.
+        results = [None] * len(specs)
+        for update in stream_sweep(specs, jobs=jobs, cache=store,
+                                   backend=backend, policy=policy):
+            for i in update.positions:
+                results[i] = update.result
+            r = update.result
+            print(json.dumps({
+                "event": "cell",
+                "workload": r.workload,
+                "variant": r.variant,
+                "source": update.source,
+                "completed": update.completed,
+                "total": update.total,
+                "exec_ms": r.stats.execution_ns / 1e6,
+                "ipns": r.stats.throughput_ipns,
+            }, sort_keys=True), flush=True)
+    else:
+        results = run_sweep(specs, jobs=jobs, cache=store, backend=backend,
+                            progress=_progress_printer(not args.quiet),
+                            policy=policy)
 
     header = f"{'workload':<12}{'variant':<16}{'threads':>8}" \
              f"{'exec_ms':>12}{'ipns':>10}{'ctx_sw':>8}"
@@ -324,6 +398,7 @@ def _figure_kwargs(
         "cache": cache if cache is not None else _cache_from_args(args),
         "backend": backend,
         "progress": progress,
+        "policy": _policy_from_args(args),
     }
     return {
         name: value
@@ -452,7 +527,18 @@ def cmd_worker(args: argparse.Namespace) -> int:
             retries=args.retry,
             retry_delay=args.retry_delay,
             once=args.once,
+            register=args.register,
+            announce=args.announce,
+            heartbeat=args.heartbeat,
         )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_registry(args: argparse.Namespace) -> int:
+    try:
+        return run_registry(args.listen, stale_after=args.stale_after)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -522,6 +608,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=None)
     p_sweep.add_argument("--output", "-o", default=None,
                          help="write results JSON here")
+    p_sweep.add_argument("--stream", action="store_true",
+                         help="emit one JSON line per completed cell "
+                              "(NDJSON), in completion order")
     _add_common_run_options(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -577,7 +666,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument("--retry", type=int, default=40,
                           help="--connect attempts before giving up")
     p_worker.add_argument("--retry-delay", type=float, default=0.25)
+    p_worker.add_argument("--register", default=None, metavar="HOST:PORT",
+                          help="announce this worker to a registry "
+                               "(requires --listen; coordinators then use "
+                               "--registry instead of --workers)")
+    p_worker.add_argument("--announce", default=None, metavar="HOST:PORT",
+                          help="address to announce to the registry when the "
+                               "bound one is not dialable (0.0.0.0, NAT)")
+    p_worker.add_argument("--heartbeat", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="registry heartbeat interval (default 2s)")
     p_worker.set_defaults(func=cmd_worker)
+
+    p_registry = sub.add_parser(
+        "registry",
+        help="run the worker registry (discovery + liveness for "
+             "elastic distributed sweeps)",
+    )
+    p_registry.add_argument("--listen", required=True, metavar="[HOST:]PORT",
+                            help="bind address; port 0 picks a free port, "
+                                 "printed on stdout")
+    p_registry.add_argument("--stale-after", type=float, default=6.0,
+                            metavar="SECONDS",
+                            help="drop a worker after this long without a "
+                                 "heartbeat (default 6s)")
+    p_registry.set_defaults(func=cmd_registry)
 
     p_cache = sub.add_parser(
         "cache", help="inspect, bound, or clear the result cache"

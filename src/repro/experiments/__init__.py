@@ -8,6 +8,7 @@ size-capped, concurrency-safe on-disk result cache.
 """
 
 from repro.experiments.backends import (
+    CellPolicy,
     DistributedBackend,
     LocalProcessBackend,
     SweepBackend,
@@ -15,25 +16,34 @@ from repro.experiments.backends import (
     resolve_backend,
 )
 from repro.experiments.orchestrator import (
+    CellUpdate,
     ResultCache,
     SweepJob,
     run_pairs,
     run_sweep,
+    stream_sweep,
     sweep_product,
 )
+from repro.experiments.registry import Announcer, Registry, fetch_workers
 from repro.experiments.runner import RunResult, run_workload
 
 __all__ = [
+    "Announcer",
+    "CellPolicy",
+    "CellUpdate",
     "DistributedBackend",
     "LocalProcessBackend",
+    "Registry",
     "ResultCache",
     "RunResult",
     "SweepBackend",
     "SweepJob",
     "ThreadBackend",
+    "fetch_workers",
     "resolve_backend",
     "run_pairs",
     "run_sweep",
     "run_workload",
+    "stream_sweep",
     "sweep_product",
 ]

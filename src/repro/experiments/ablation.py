@@ -28,6 +28,7 @@ def prefetch_ablation(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Base-CSSD with and without next-page prefetch.
 
@@ -43,7 +44,7 @@ def prefetch_ablation(
                 ssd_overrides={"prefetch_depth": depth},
             ))
     sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                           progress=progress))
+                           progress=progress, policy=policy))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
         with_pf = next(sweep).stats
@@ -65,6 +66,7 @@ def promotion_threshold_sweep(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[int, Dict[str, float]]:
     """How the §III-C hotness threshold trades promotion precision
     against churn: too low promotes lukewarm pages (migration overhead),
@@ -78,7 +80,7 @@ def promotion_threshold_sweep(
         for threshold in thresholds
     ]
     sweep = run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                      progress=progress)
+                      progress=progress, policy=policy)
     rows: Dict[int, Dict[str, float]] = {}
     for threshold, result in zip(thresholds, sweep):
         stats = result.stats
@@ -99,6 +101,7 @@ def persistence_interval_sweep(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[float, Dict[str, float]]:
     """The baseline's dirty-flush interval: tighter durability means more
     flash programs (0 disables the flush entirely -- the volatile-cache
@@ -112,7 +115,7 @@ def persistence_interval_sweep(
         for interval in intervals_us
     ]
     sweep = run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                      progress=progress)
+                      progress=progress, policy=policy)
     rows: Dict[float, Dict[str, float]] = {}
     for interval, result in zip(intervals_us, sweep):
         stats = result.stats

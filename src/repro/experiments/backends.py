@@ -17,16 +17,29 @@ once per cell, always from the caller's thread:
   Workers are started with ``python -m repro worker`` (see
   :mod:`repro.experiments.worker`) and either *listen* for the
   coordinator to dial them (``--listen``, coordinator passes
-  ``workers=[...]``) or *dial in* to a listening coordinator
-  (``--connect``, coordinator passes ``listen=...``).
+  ``workers=[...]``), *dial in* to a listening coordinator
+  (``--connect``, coordinator passes ``listen=...``), or are
+  discovered through a **worker registry**
+  (:mod:`repro.experiments.registry`; coordinator passes
+  ``registry="HOST:PORT"``) which lets workers join and leave
+  mid-sweep.
+
+Fault tolerance on the distributed backend is governed by a per-cell
+:class:`CellPolicy`: each cell attempt has a configurable timeout
+(``REPRO_CELL_TIMEOUT``), a cell is retried on failure up to a bounded
+retry budget (``REPRO_RETRY_BUDGET``) before the sweep fails with a
+clear error, and a worker that keeps failing cells is quarantined (no
+further cells, no re-dial) for the rest of the sweep.
 
 Every backend funnels results through ``RunResult.to_dict()`` /
 ``from_dict()`` -- the same lossless serialization the result cache
 uses -- so results are byte-identical no matter where a cell ran.
 
 Environment knobs: ``REPRO_BENCH_BACKEND`` selects the default backend
-(``local``, ``thread``, ``serial``, or ``distributed[:HOST:PORT,...]``)
-and ``REPRO_BENCH_WORKERS`` supplies distributed worker addresses.
+(``local``, ``thread``, ``serial``, ``distributed[:HOST:PORT,...]``, or
+``registry[:HOST:PORT]``), ``REPRO_BENCH_WORKERS`` supplies distributed
+worker addresses, ``REPRO_REGISTRY`` the default registry address, and
+``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRY_BUDGET`` the reliability policy.
 """
 
 from __future__ import annotations
@@ -36,13 +49,15 @@ import os
 import queue
 import socket
 import threading
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.experiments.runner import RunResult, default_records
 
@@ -52,6 +67,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle is runtime-lazy
 JOBS_ENV = "REPRO_JOBS"
 BACKEND_ENV = "REPRO_BENCH_BACKEND"
 WORKERS_ENV = "REPRO_BENCH_WORKERS"
+REGISTRY_ENV = "REPRO_REGISTRY"
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+RETRY_BUDGET_ENV = "REPRO_RETRY_BUDGET"
 
 #: Bumped on incompatible wire changes; coordinator and workers refuse
 #: to talk across versions instead of desynchronizing mid-sweep.
@@ -68,6 +86,60 @@ def default_jobs() -> int:
         return max(1, int(os.environ.get(JOBS_ENV, "1")))
     except ValueError:
         return 1
+
+
+@dataclass(frozen=True)
+class CellPolicy:
+    """Per-cell reliability policy for the distributed backend.
+
+    ``cell_timeout``: seconds a single attempt may take on a worker
+    before the coordinator abandons the connection and retries the cell
+    elsewhere (None = unlimited; attempts on a cold worker include
+    import/spawn time, so budget generously).
+
+    ``retry_budget``: total attempts per cell -- failed replies, dead
+    connections and timeouts all consume it.  Exhausting it fails the
+    sweep with an error naming the cell and its failure history; work
+    already cached/finished is kept (a rerun resumes from the cache).
+
+    ``quarantine_after``: failed attempts attributed to one worker
+    connection/address before that worker is quarantined: it gets no
+    further cells and is never re-dialed during this sweep.  Defaults
+    to the retry budget so a lone worker can still burn a cell's whole
+    budget (exhaustion, not a silent hang, must end that story).
+    """
+
+    cell_timeout: Optional[float] = None
+    retry_budget: int = 3
+    quarantine_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.retry_budget < 1:
+            raise ValueError("retry_budget must be >= 1")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            object.__setattr__(self, "cell_timeout", None)
+        if self.quarantine_after is None:
+            object.__setattr__(self, "quarantine_after", self.retry_budget)
+
+    @classmethod
+    def from_env(cls) -> "CellPolicy":
+        """REPRO_CELL_TIMEOUT (seconds; unset/0 = unlimited) and
+        REPRO_RETRY_BUDGET (attempts; default 3)."""
+        try:
+            timeout: Optional[float] = float(
+                os.environ.get(CELL_TIMEOUT_ENV, "0") or "0")
+        except ValueError:
+            timeout = 0.0
+        try:
+            budget = max(1, int(os.environ.get(RETRY_BUDGET_ENV, "3") or "3"))
+        except ValueError:
+            budget = 3
+        return cls(cell_timeout=timeout if timeout and timeout > 0 else None,
+                   retry_budget=budget)
+
+    def describe(self) -> str:
+        timeout = "inf" if self.cell_timeout is None else f"{self.cell_timeout:g}s"
+        return f"timeout={timeout},budget={self.retry_budget}"
 
 
 # ---------------------------------------------------------------------------
@@ -214,21 +286,34 @@ class ThreadBackend(SweepBackend):
 class DistributedBackend(SweepBackend):
     """Fan cells out to ``python -m repro worker`` processes over TCP.
 
-    Two connection topologies, usable together:
+    Three connection topologies, usable together:
 
     * ``workers=["host:port", ...]`` -- the coordinator dials workers
       that were started with ``--listen``;
     * ``listen="host:port"`` -- the coordinator binds a port (0 picks a
       free one; see :attr:`address`) and workers dial in with
-      ``--connect``.
+      ``--connect``;
+    * ``registry="host:port"`` -- the coordinator polls a
+      :class:`~repro.experiments.registry.Registry` during the sweep
+      and dials every live announced worker it is not yet connected
+      to, so the fleet can grow and shrink mid-sweep (elastic
+      autoscaling: a late-joining worker immediately picks up queued
+      cells).
 
     One connection thread per worker keeps a single cell in flight on
-    that worker; a connection that dies mid-cell has its cell requeued
-    for the surviving workers.  A cell that *fails on* a worker (the
-    worker replied with an error) raises, exactly like a crashed pool
-    worker would.  All ``finish`` callbacks happen on the caller's
-    thread, exactly once per cell -- the per-cell progress contract
-    ``run_sweep`` exposes holds here like on the local backends.
+    that worker.  Failures are governed by the per-cell
+    :class:`CellPolicy` (``policy=``, default
+    :meth:`CellPolicy.from_env`): a connection that dies mid-cell, a
+    worker that replies with an error, and an attempt that exceeds
+    ``cell_timeout`` all consume one unit of that cell's retry budget
+    and the cell is requeued for another worker; a cell whose budget is
+    exhausted fails the sweep with its failure history.  A worker
+    address that accumulates ``quarantine_after`` failed attempts is
+    quarantined -- no further cells, no re-dial -- so one sick host
+    cannot eat every retry.  All ``finish`` callbacks happen on the
+    thread that called :meth:`run`, exactly once per cell -- the
+    per-cell progress contract ``run_sweep`` exposes holds here like on
+    the local backends.
 
     Workers may answer a cell from their own result cache (a shared
     ``--cache-dir``); such replies are tallied in
@@ -238,20 +323,36 @@ class DistributedBackend(SweepBackend):
 
     name = "distributed"
 
+    #: Seconds between registry polls while a sweep is running.
+    REGISTRY_POLL_INTERVAL = 1.0
+
+    #: Seconds before re-attempting to dial an address that did not
+    #: answer -- an unreachable announced worker (NAT, died without
+    #: deregistering) must not be hammered on every poll.
+    REGISTRY_DIAL_BACKOFF = 5.0
+
+    #: Most recent connection-failure reasons kept for error messages.
+    MAX_DOWN_REASONS = 20
+
     def __init__(
         self,
         workers: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
         listen: Optional[Union[str, Tuple[str, int]]] = None,
+        registry: Optional[Union[str, Tuple[str, int]]] = None,
         connect_timeout: float = 30.0,
+        policy: Optional[CellPolicy] = None,
     ) -> None:
-        if not workers and listen is None:
+        if not workers and listen is None and registry is None:
             raise ValueError(
                 "distributed backend needs worker addresses "
-                "(--workers HOST:PORT,... or REPRO_BENCH_WORKERS) "
+                "(--workers HOST:PORT,... or REPRO_BENCH_WORKERS), "
+                "a registry (--registry HOST:PORT or REPRO_REGISTRY), "
                 "or a listen address for workers to dial in to"
             )
         self.workers = [parse_address(w) for w in (workers or [])]
+        self.registry = parse_address(registry) if registry is not None else None
         self.connect_timeout = connect_timeout
+        self.policy = policy if policy is not None else CellPolicy.from_env()
         self.remote_cache_hits = 0
         self._listener: Optional[socket.socket] = None
         if listen is not None:
@@ -264,8 +365,11 @@ class DistributedBackend(SweepBackend):
 
     def describe(self) -> str:
         parts = [f"{h}:{p}" for h, p in self.workers]
+        if self.registry:
+            parts.append(f"registry={self.registry[0]}:{self.registry[1]}")
         if self.address:
             parts.append(f"listen={self.address[0]}:{self.address[1]}")
+        parts.append(self.policy.describe())
         return f"distributed[{','.join(parts)}]"
 
     def close(self) -> None:
@@ -275,9 +379,26 @@ class DistributedBackend(SweepBackend):
 
     # -- coordinator internals ---------------------------------------------
 
-    def _serve_connection(self, sock, label, job_q, events) -> None:
-        """One worker connection: feed it cells until the queue drains."""
+    def _serve_connection(self, sock, label, job_q, events, quarantined,
+                          done) -> None:
+        """One worker connection: feed it cells until the sweep is done.
+
+        An idle connection polls the queue rather than hanging up the
+        moment it looks empty -- a cell failing elsewhere may be
+        requeued at any time until ``done`` is set, and this worker
+        must be around to absorb it (that is the rebalancing half of
+        the retry story).  A failure mid-cell reports the cell in the
+        ``down`` event (the run loop owns retry accounting, so
+        requeueing happens there).
+
+        Quarantine is keyed on a *stable* worker identity -- the peer
+        host plus the pid from the worker's hello -- not the connection
+        label: a dial-in (``--connect``) worker reconnects from a fresh
+        ephemeral port after every dismissal, and must not re-enter
+        with a clean slate.
+        """
         current: Optional[PendingCell] = None
+        worker_id = label
         try:
             rfile = sock.makefile("r", encoding="utf-8")
             sock.settimeout(self.connect_timeout)
@@ -289,12 +410,31 @@ class DistributedBackend(SweepBackend):
                     f"worker {label} speaks protocol "
                     f"{hello.get('version')!r}, not {PROTOCOL_VERSION}"
                 )
-            sock.settimeout(None)  # cells may legitimately take long
+            if hello.get("pid"):
+                worker_id = f"{label.rsplit(':', 1)[0]}#pid{hello['pid']}"
+            # Per-attempt budget from the cell policy (None = unlimited).
+            sock.settimeout(self.policy.cell_timeout)
             seq = 0
             while True:
+                if worker_id in quarantined or label in quarantined:
+                    # Pace a dial-in worker's reconnect spin before the
+                    # dismissal (it will redial the moment we hang up).
+                    done.wait(0.5)
+                    send_msg(sock, {"type": "bye"})
+                    break
+                if done.is_set():
+                    send_msg(sock, {"type": "bye"})
+                    break
                 try:
-                    current = job_q.get_nowait()
+                    current = job_q.get(timeout=0.2)
                 except queue.Empty:
+                    continue
+                if worker_id in quarantined or label in quarantined:
+                    # Charging a failure quarantines *before* requeueing
+                    # the cell, so this re-check reliably keeps a just-
+                    # quarantined worker from grabbing its own retry.
+                    job_q.put(current)
+                    current = None
                     send_msg(sock, {"type": "bye"})
                     break
                 key, job = current
@@ -302,7 +442,13 @@ class DistributedBackend(SweepBackend):
                 message = {"type": "job", "id": seq, "key": key}
                 message.update(job_to_wire(job))
                 send_msg(sock, message)
-                reply = recv_msg(rfile)
+                try:
+                    reply = recv_msg(rfile)
+                except socket.timeout:
+                    raise ConnectionError(
+                        f"worker {label} exceeded the "
+                        f"{self.policy.cell_timeout:g}s cell timeout"
+                    ) from None
                 if reply is None:
                     raise ConnectionError(f"worker {label} closed mid-cell")
                 if reply.get("ok"):
@@ -310,12 +456,13 @@ class DistributedBackend(SweepBackend):
                         ("ok", key, reply["result"], bool(reply.get("cached")))
                     )
                 else:
-                    events.put(("fail", key, str(reply.get("error", "?"))))
+                    events.put(
+                        ("fail", label, worker_id, current,
+                         str(reply.get("error", "?")))
+                    )
                 current = None
         except Exception as exc:  # noqa: BLE001 - reported via the event queue
-            if current is not None:
-                job_q.put(current)  # let a surviving worker pick it up
-            events.put(("down", label, repr(exc)))
+            events.put(("down", label, worker_id, repr(exc), current))
             return
         finally:
             try:
@@ -325,17 +472,26 @@ class DistributedBackend(SweepBackend):
         events.put(("done", label))
 
     def run(self, pending: Sequence[PendingCell], finish: FinishFn) -> None:
+        policy = self.policy
         job_q: "queue.Queue[PendingCell]" = queue.Queue()
         for cell in pending:
             job_q.put(cell)
         events: "queue.Queue[tuple]" = queue.Queue()
         threads: List[threading.Thread] = []
         stop = threading.Event()
+        # Set once every cell has finished (or the sweep failed): idle
+        # connections then dismiss their workers with "bye".
+        done = threading.Event()
+        # Shared with connection threads: a quarantined label takes no
+        # further cells (checked before each hand-out).
+        quarantined: Set[str] = set()
+        live_labels: Set[str] = set()
 
         def start_conn(sock: socket.socket, label: str) -> None:
+            live_labels.add(label)
             thread = threading.Thread(
                 target=self._serve_connection,
-                args=(sock, label, job_q, events),
+                args=(sock, label, job_q, events, quarantined, done),
                 name=f"sweep-conn-{label}",
                 daemon=True,
             )
@@ -356,7 +512,56 @@ class DistributedBackend(SweepBackend):
                     return
                 start_conn(sock, "%s:%d" % peer[:2])
 
+        down_reasons: List[str] = []
+
+        def note(reason: str) -> None:
+            """Record a connection failure, keeping the list bounded."""
+            down_reasons.append(reason)
+            del down_reasons[:-self.MAX_DOWN_REASONS]
+
+        def registry_poll_loop() -> None:
+            """Dial live registered workers, off the event thread.
+
+            Dials block for up to ``connect_timeout``; doing them here
+            keeps the run loop free to process results while a dead
+            announced address times out.  Unreachable addresses are
+            re-tried no more often than ``REGISTRY_DIAL_BACKOFF``.
+            """
+            from repro.experiments.registry import fetch_workers
+
+            last_attempt: Dict[str, float] = {}
+            while not stop.is_set():
+                try:
+                    addresses = fetch_workers(self.registry, timeout=5.0)
+                except (OSError, RuntimeError) as exc:
+                    note(f"registry {self.registry[0]}:{self.registry[1]}: "
+                         f"{exc}")
+                    addresses = []
+                for address in addresses:
+                    if stop.is_set():
+                        return
+                    label = "%s:%d" % parse_address(address)
+                    if label in live_labels or label in quarantined:
+                        continue
+                    now = time.monotonic()
+                    if now - last_attempt.get(label, -1e9) \
+                            < self.REGISTRY_DIAL_BACKOFF:
+                        continue
+                    last_attempt[label] = now
+                    try:
+                        sock = socket.create_connection(
+                            parse_address(address),
+                            timeout=self.connect_timeout,
+                        )
+                    except OSError as exc:
+                        note(f"dial {label}: {exc}")
+                        continue
+                    start_conn(sock, label)
+                if stop.wait(self.REGISTRY_POLL_INTERVAL):
+                    return
+
         accept_thread: Optional[threading.Thread] = None
+        registry_thread: Optional[threading.Thread] = None
         try:
             for host, port in self.workers:
                 sock = socket.create_connection(
@@ -368,22 +573,56 @@ class DistributedBackend(SweepBackend):
                     target=accept_loop, name="sweep-accept", daemon=True
                 )
                 accept_thread.start()
+            if self.registry is not None:
+                registry_thread = threading.Thread(
+                    target=registry_poll_loop, name="sweep-registry",
+                    daemon=True,
+                )
+                registry_thread.start()
 
             remaining = {key for key, _ in pending}
+            cell_for_key: Dict[str, PendingCell] = {k: (k, j) for k, j in pending}
+            failures: Dict[str, List[str]] = {}  # key -> attempt errors
+            worker_failures: Dict[str, int] = {}
             ended = 0
-            down_reasons: List[str] = []
             # A dead connection's cell is requeued, but the survivors may
             # already have drained the queue and been sent "bye" -- so in
             # dial mode, re-dial the configured workers (a listening
             # worker accepts a fresh connection) a bounded number of
             # times before giving up.
-            redial_budget = 2 * len(self.workers)
+            redial_budget = policy.retry_budget * len(self.workers)
+
+            def charge(key: str, label: str, worker_id: str,
+                       error: str) -> None:
+                """One failed attempt: budget accounting + quarantine.
+
+                Quarantining (both the stable worker identity and the
+                dialable address label) happens *before* the requeue,
+                so the offender can never grab its own retry.
+                """
+                history = failures.setdefault(key, [])
+                history.append(f"{label}: {error}")
+                worker_failures[worker_id] = worker_failures.get(worker_id, 0) + 1
+                if worker_failures[worker_id] >= policy.quarantine_after:
+                    if worker_id not in quarantined:
+                        quarantined.add(worker_id)
+                        quarantined.add(label)
+                        note(f"{label}: quarantined after "
+                             f"{worker_failures[worker_id]} failed attempt(s)")
+                if len(history) >= policy.retry_budget:
+                    raise RuntimeError(
+                        f"cell {key} failed {len(history)} attempt(s), "
+                        f"retry budget {policy.retry_budget} exhausted: "
+                        f"{'; '.join(history)}"
+                    )
+                job_q.put(cell_for_key[key])
+
             while remaining:
                 try:
                     event = events.get(timeout=0.5)
                 except queue.Empty:
-                    if accept_thread is not None:
-                        continue  # a listener can still bring new workers
+                    if accept_thread is not None or registry_thread is not None:
+                        continue  # a listener/registry can bring new workers
                     if ended < len(threads) or any(t.is_alive() for t in threads):
                         continue
                     revived = False
@@ -391,17 +630,18 @@ class DistributedBackend(SweepBackend):
                         for host, port in self.workers:
                             if redial_budget <= 0:
                                 break
+                            label = f"{host}:{port}"
+                            if label in quarantined:
+                                continue
                             redial_budget -= 1
                             try:
                                 sock = socket.create_connection(
                                     (host, port), timeout=self.connect_timeout
                                 )
                             except OSError as exc:
-                                down_reasons.append(
-                                    f"redial {host}:{port}: {exc}"
-                                )
+                                note(f"redial {host}:{port}: {exc}")
                                 continue
-                            start_conn(sock, f"{host}:{port}")
+                            start_conn(sock, label)
                             revived = True
                         break
                     if revived:
@@ -423,43 +663,57 @@ class DistributedBackend(SweepBackend):
                             self.remote_cache_hits += 1
                         finish(key, RunResult.from_dict(payload))
                 elif kind == "fail":
-                    _, key, error = event
-                    raise RuntimeError(f"worker failed on cell {key}: {error}")
+                    _, label, worker_id, cell, error = event
+                    charge(cell[0], label, worker_id, f"worker error: {error}")
                 elif kind == "down":
+                    _, label, worker_id, reason, cell = event
                     ended += 1
-                    down_reasons.append(f"{event[1]}: {event[2]}")
+                    live_labels.discard(label)
+                    note(f"{label}: {reason}")
+                    if cell is not None and cell[0] in remaining:
+                        charge(cell[0], label, worker_id, reason)
                 else:  # "done"
                     ended += 1
+                    live_labels.discard(event[1])
         finally:
+            done.set()
             stop.set()
             for thread in threads:
                 thread.join(timeout=2.0)
             if accept_thread is not None:
                 accept_thread.join(timeout=2.0)
+            if registry_thread is not None:
+                registry_thread.join(timeout=2.0)
 
 
 # ---------------------------------------------------------------------------
 # Resolution
 # ---------------------------------------------------------------------------
 
-_BACKEND_NAMES = ("local", "thread", "serial", "distributed")
+_BACKEND_NAMES = ("local", "thread", "serial", "distributed", "registry")
 
 
 def resolve_backend(
     backend: BackendLike = None,
     jobs: Optional[int] = None,
     workers: Optional[Sequence[str]] = None,
+    policy: Optional[CellPolicy] = None,
 ) -> SweepBackend:
     """Normalise a backend argument to a :class:`SweepBackend`.
 
     ``None`` consults ``REPRO_BENCH_BACKEND`` (default ``local``, or
     ``distributed`` when ``workers`` are supplied).  Strings accept
     ``local``/``process``, ``thread``/``threads``, ``serial`` (local
-    with one worker), and ``distributed[:HOST:PORT,...]``; distributed
-    worker addresses come from the spec suffix, the ``workers``
-    argument, or ``REPRO_BENCH_WORKERS``.
+    with one worker), ``distributed[:HOST:PORT,...]``, and
+    ``registry[:HOST:PORT]``; distributed worker addresses come from
+    the spec suffix, the ``workers`` argument, or
+    ``REPRO_BENCH_WORKERS``, and the registry address from the spec
+    suffix or ``REPRO_REGISTRY``.  An explicit ``policy`` overrides the
+    backend's cell policy, including on an already-built instance.
     """
     if isinstance(backend, SweepBackend):
+        if policy is not None and hasattr(backend, "policy"):
+            backend.policy = policy
         return backend
     if backend is None:
         # An explicit worker list beats the ambient env default: a user
@@ -486,7 +740,16 @@ def resolve_backend(
         if not addresses:
             env_workers = os.environ.get(WORKERS_ENV, "")
             addresses = [part for part in env_workers.split(",") if part.strip()]
-        return DistributedBackend(workers=addresses)
+        return DistributedBackend(workers=addresses, policy=policy)
+    if name == "registry":
+        registry = rest.strip() or os.environ.get(REGISTRY_ENV, "").strip()
+        if not registry:
+            raise ValueError(
+                "registry backend needs a registry address "
+                "(--registry HOST:PORT, registry:HOST:PORT, or "
+                "REPRO_REGISTRY)"
+            )
+        return DistributedBackend(registry=registry, policy=policy)
     raise ValueError(
         f"unknown sweep backend {spec!r} (expected one of {', '.join(_BACKEND_NAMES)})"
     )

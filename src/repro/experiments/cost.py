@@ -76,6 +76,7 @@ def cost_effectiveness(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, object]:
     """Measured performance-per-dollar of SkyByte-Full vs DRAM-Only.
 
@@ -92,6 +93,7 @@ def cost_effectiveness(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     ))
     fractions: Dict[str, float] = {}
     product = 1.0

@@ -34,6 +34,7 @@ def fig9_threshold_sweep(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[float, float]]:
     """Fig. 9: normalized execution time vs trigger threshold.
 
@@ -52,7 +53,7 @@ def fig9_threshold_sweep(
         for threshold in thresholds_us
     ]
     results = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                             progress=progress))
+                             progress=progress, policy=policy))
     rows: Dict[str, Dict[float, float]] = {}
     for wl in workloads:
         base_ipns = None
@@ -73,6 +74,7 @@ def fig10_scheduling_policies(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 10: execution time and its breakdown under RR/Random/CFS.
 
@@ -84,24 +86,25 @@ def fig10_scheduling_policies(
     records = records or default_records()
     specs = [
         SweepJob.make(
-            wl, "SkyByte-Full", records_per_thread=records, t_policy=policy
+            wl, "SkyByte-Full", records_per_thread=records,
+            t_policy=sched_policy,
         )
         for wl in workloads
-        for policy in FIG10_POLICIES
+        for sched_policy in FIG10_POLICIES
     ]
     results = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                             progress=progress))
+                             progress=progress, policy=policy))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
         rr_ipns = None
         per_policy: Dict[str, Dict[str, float]] = {}
-        for policy in FIG10_POLICIES:
+        for sched_policy in FIG10_POLICIES:
             r = next(results)
             ipns = max(r.stats.throughput_ipns, 1e-12)
             if rr_ipns is None:
                 rr_ipns = ipns
             bd = r.stats.boundedness()
-            per_policy[policy] = {
+            per_policy[sched_policy] = {
                 "normalized_time": rr_ipns / ipns,
                 "memory": bd["memory"],
                 "compute": bd["compute"],

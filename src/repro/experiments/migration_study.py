@@ -26,6 +26,7 @@ def fig23_migration_mechanisms(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 23: normalized execution time, SkyByte-C = 1.0 (lower is
     better)."""
@@ -38,6 +39,7 @@ def fig23_migration_mechanisms(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:

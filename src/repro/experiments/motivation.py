@@ -38,6 +38,7 @@ def fig2_dram_vs_cssd(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 2: normalized execution time of Base-CSSD over DRAM.
 
@@ -53,6 +54,7 @@ def fig2_dram_vs_cssd(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
@@ -73,6 +75,7 @@ def fig3_latency_distribution(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, object]]:
     """Fig. 3: off-chip latency distribution, DRAM vs CXL-SSD.
 
@@ -91,6 +94,7 @@ def fig3_latency_distribution(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     ))
     rows: Dict[str, Dict[str, object]] = {}
     for wl in workloads:
@@ -115,6 +119,7 @@ def fig4_boundedness(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 4: memory- vs compute-bounded cycle fractions.
 
@@ -130,6 +135,7 @@ def fig4_boundedness(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:

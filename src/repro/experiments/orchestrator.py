@@ -11,6 +11,11 @@ go through:
   :class:`~repro.experiments.backends.SweepBackend` (process pool,
   thread pool, or distributed TCP workers) while preserving input
   order, deduplicating identical cells, and consulting the result cache;
+* :func:`stream_sweep` -- the streaming core ``run_sweep`` is built on:
+  an iterator of :class:`CellUpdate` events, one per distinct cell, in
+  completion order -- cache-served cells first, then simulated cells as
+  the backend finishes them.  Long sweeps can be observed (and their
+  reports rewritten) in real time instead of at barrier boundaries;
 * :class:`ResultCache` -- a JSON-per-result store under ``.repro_cache/``
   keyed by a stable hash of the fully *resolved* simulation config plus
   workload, variant, trace length and time limit, so a re-run only
@@ -29,8 +34,12 @@ from a pool worker, a thread, a remote worker, the cache, or an
 in-process run.
 
 Environment knobs: ``REPRO_JOBS`` (default worker count),
-``REPRO_BENCH_BACKEND`` / ``REPRO_BENCH_WORKERS`` (default backend, see
-:func:`repro.experiments.backends.resolve_backend`), ``REPRO_CACHE``
+``REPRO_BENCH_BACKEND`` / ``REPRO_BENCH_WORKERS`` / ``REPRO_REGISTRY``
+(default backend, see
+:func:`repro.experiments.backends.resolve_backend`),
+``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRY_BUDGET`` (distributed per-cell
+reliability policy, see
+:class:`repro.experiments.backends.CellPolicy`), ``REPRO_CACHE``
 (truthy enables caching when callers do not say), ``REPRO_CACHE_DIR``
 (cache location, default ``.repro_cache``), ``REPRO_CACHE_MAX_BYTES``
 (size cap; 0 or unset means unbounded).
@@ -42,16 +51,33 @@ import contextlib
 import hashlib
 import json
 import os
+import queue
+import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 try:  # advisory file locking; absent on non-POSIX platforms
     import fcntl
 except ImportError:  # pragma: no cover - POSIX-only dependency
     fcntl = None
 
-from repro.experiments.backends import BackendLike, default_jobs, resolve_backend
+from repro.experiments.backends import (
+    BackendLike,
+    CellPolicy,
+    default_jobs,
+    resolve_backend,
+)
 from repro.experiments.runner import DEFAULT_SCALE, RunResult, resolve_run, run_workload
 from repro.variants import canonical_variant
 from repro.workloads.suites import canonical_workload
@@ -450,47 +476,63 @@ def _execute_job_dict(job: SweepJob) -> Dict[str, object]:
     return _execute_job(job).to_dict()
 
 
-def run_sweep(
+@dataclass(frozen=True)
+class CellUpdate:
+    """One completed sweep cell, as :func:`stream_sweep` yields them.
+
+    ``positions`` are the indices in the caller's job list this cell
+    fills (duplicates of one cell share an update); ``completed`` /
+    ``total`` count *distinct* cells so consumers can render progress
+    without recomputing the dedup.
+    """
+
+    job: SweepJob
+    result: RunResult
+    source: str  # "cache" or "run"
+    positions: Tuple[int, ...]
+    completed: int
+    total: int
+
+
+def stream_sweep(
     jobs_or_pairs: Iterable[JobLike],
     jobs: Optional[int] = None,
     cache: Union[ResultCache, bool, str, Path, None] = None,
-    progress: Optional[Callable[[SweepJob, str], None]] = None,
     backend: BackendLike = None,
-) -> List[RunResult]:
-    """Run a batch of simulation cells, in parallel, through the cache.
+    policy: Optional[CellPolicy] = None,
+) -> Iterator[CellUpdate]:
+    """Run a batch of cells, yielding each one **as it completes**.
 
-    Args:
-        jobs_or_pairs: :class:`SweepJob` objects or ``(workload,
-            variant)`` pairs; results come back in the same order.
-        jobs: worker count for the local/thread backends (1 = run
-            in-process; default ``REPRO_JOBS`` or 1).
-        cache: see :func:`resolve_cache`.
-        progress: optional callback invoked per completed cell with the
-            job and its source (``"cache"`` or ``"run"``).  The contract
-            holds on **every** backend: the callback fires exactly once
-            per distinct cell, always from the calling thread (backends
-            deliver results to ``finish`` on the caller's thread), and
-            cache-served cells fire before any backend execution starts.
-            Incremental consumers -- the figure drivers thread this
-            through to ``python -m repro report``, which rewrites the
-            report after each cell -- need no locking.
-        backend: a :class:`~repro.experiments.backends.SweepBackend`, a
-            backend name (``local``/``thread``/``serial``/
-            ``distributed``), or None for the ``REPRO_BENCH_BACKEND``
-            default; see
-            :func:`~repro.experiments.backends.resolve_backend`.
+    The streaming core under :func:`run_sweep`: cells are deduplicated
+    and checked against the cache exactly the same way, but instead of
+    a barrier the caller receives an iterator of :class:`CellUpdate`
+    events in completion order -- cache-served cells first (before any
+    simulation starts), then simulated cells as the backend delivers
+    them.  Cache writes happen on the backend helper thread the moment
+    a cell finishes, *before* its update is queued for the consumer --
+    so a consumer that crashes (or abandons the iterator early) never
+    loses finished work: the cache already has it.
 
-    Identical jobs are simulated once and fanned back out to every
-    position that requested them.
+    The backend executes on a helper thread while the caller iterates;
+    an error on any cell (or in the backend itself) is re-raised from
+    the iterator after in-flight results drain.  Abandoning the
+    iterator early leaves the helper thread draining in the background
+    (it is a daemon and, as above, still feeds the cache); consume it
+    fully -- or use :func:`run_sweep` -- when you need the barrier
+    semantics.
+
+    ``policy`` is the distributed backend's per-cell reliability policy
+    (timeout / retry budget / quarantine); see
+    :class:`~repro.experiments.backends.CellPolicy`.  Local and thread
+    backends ignore it.
     """
     specs = [_as_job(item) for item in jobs_or_pairs]
     if jobs is None:
         jobs = default_jobs()
     jobs = max(1, int(jobs))
     store = resolve_cache(cache)
-    executor = resolve_backend(backend, jobs=jobs)
+    executor = resolve_backend(backend, jobs=jobs, policy=policy)
 
-    results: List[Optional[RunResult]] = [None] * len(specs)
     # Deduplicate: one simulation per distinct cache key, results shared.
     key_order: List[str] = []
     positions: Dict[str, List[int]] = {}
@@ -503,28 +545,120 @@ def run_sweep(
             job_for_key[key] = spec
         positions[key].append(i)
 
+    total = len(key_order)
+    completed = 0
     pending: List[str] = []
     for key in key_order:
         cached = store.get(key) if store is not None else None
         if cached is not None:
-            for i in positions[key]:
-                results[i] = cached
-            if progress is not None:
-                progress(job_for_key[key], "cache")
+            completed += 1
+            yield CellUpdate(
+                job=job_for_key[key], result=cached, source="cache",
+                positions=tuple(positions[key]), completed=completed,
+                total=total,
+            )
         else:
             pending.append(key)
+    if not pending:
+        return
+
+    # The backend runs on a helper thread and reports each finished
+    # cell through this queue.  "finish exactly once per cell, from the
+    # thread that called run()" still holds -- that thread is the
+    # helper, and its calls serialize through the queue.  The cache
+    # write happens here in _finish (the ResultCache is flock-guarded),
+    # so finished cells are durable even if the consumer never drains
+    # the queue.
+    events: "queue.Queue[tuple]" = queue.Queue()
 
     def _finish(key: str, result: RunResult) -> None:
         if store is not None:
             store.put(key, result)
-        for i in positions[key]:
-            results[i] = result
+        events.put(("ok", key, result))
+
+    def _drive() -> None:
+        try:
+            executor.run([(key, job_for_key[key]) for key in pending], _finish)
+        except BaseException as exc:  # noqa: BLE001 - re-raised by the consumer
+            events.put(("error", exc))
+            return
+        events.put(("end",))
+
+    driver = threading.Thread(target=_drive, name="sweep-driver", daemon=True)
+    driver.start()
+    done = 0
+    failure: Optional[BaseException] = None
+    while done < len(pending):
+        event = events.get()
+        if event[0] == "ok":
+            _, key, result = event
+            done += 1
+            completed += 1
+            yield CellUpdate(
+                job=job_for_key[key], result=result, source="run",
+                positions=tuple(positions[key]), completed=completed,
+                total=total,
+            )
+        elif event[0] == "error":
+            failure = event[1]
+            break
+        else:  # "end" before every cell finished: a backend contract bug
+            failure = RuntimeError(
+                f"backend {executor.describe()} returned with "
+                f"{len(pending) - done} cell(s) unfinished"
+            )
+            break
+    driver.join(timeout=5.0)
+    if failure is not None:
+        raise failure
+
+
+def run_sweep(
+    jobs_or_pairs: Iterable[JobLike],
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, bool, str, Path, None] = None,
+    progress: Optional[Callable[[SweepJob, str], None]] = None,
+    backend: BackendLike = None,
+    policy: Optional[CellPolicy] = None,
+) -> List[RunResult]:
+    """Run a batch of simulation cells, in parallel, through the cache.
+
+    Args:
+        jobs_or_pairs: :class:`SweepJob` objects or ``(workload,
+            variant)`` pairs; results come back in the same order.
+        jobs: worker count for the local/thread backends (1 = run
+            in-process; default ``REPRO_JOBS`` or 1).
+        cache: see :func:`resolve_cache`.
+        progress: optional callback invoked per completed cell with the
+            job and its source (``"cache"`` or ``"run"``).  The contract
+            holds on **every** backend: the callback fires exactly once
+            per distinct cell, always from the calling thread, and
+            cache-served cells fire before any backend execution starts.
+            Incremental consumers -- the figure drivers thread this
+            through to ``python -m repro report``, which rewrites the
+            report after each cell -- need no locking.
+        backend: a :class:`~repro.experiments.backends.SweepBackend`, a
+            backend name (``local``/``thread``/``serial``/
+            ``distributed``/``registry``), or None for the
+            ``REPRO_BENCH_BACKEND`` default; see
+            :func:`~repro.experiments.backends.resolve_backend`.
+        policy: per-cell reliability policy for the distributed backend
+            (:class:`~repro.experiments.backends.CellPolicy`; defaults
+            to ``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRY_BUDGET``).
+
+    Identical jobs are simulated once and fanned back out to every
+    position that requested them.  This is a thin barrier over
+    :func:`stream_sweep` -- callers that want cells as they complete
+    should iterate that instead.
+    """
+    specs = [_as_job(item) for item in jobs_or_pairs]
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    for update in stream_sweep(specs, jobs=jobs, cache=cache,
+                               backend=backend, policy=policy):
+        for i in update.positions:
+            results[i] = update.result
         if progress is not None:
-            progress(job_for_key[key], "run")
-
-    if pending:
-        executor.run([(key, job_for_key[key]) for key in pending], _finish)
-
+            progress(update.job, update.source)
     return results  # type: ignore[return-value]  # every slot is filled
 
 
@@ -535,10 +669,11 @@ def run_pairs(
     cache: Union[ResultCache, bool, str, Path, None] = None,
     progress: Optional[Callable[[SweepJob, str], None]] = None,
     backend: BackendLike = None,
+    policy: Optional[CellPolicy] = None,
     **params: object,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Convenience grid sweep returning ``{(workload, variant): result}``."""
     specs = sweep_product(workloads, variants, **params)
     out = run_sweep(specs, jobs=jobs, cache=cache, progress=progress,
-                    backend=backend)
+                    backend=backend, policy=policy)
     return {(r.workload, r.variant): r for r in out}

@@ -50,6 +50,7 @@ def fig14_overall(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 14: normalized execution time of every design vs Base-CSSD.
 
@@ -67,6 +68,7 @@ def fig14_overall(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     )
     rows: Dict[str, Dict[str, float]] = {}
     it = iter(sweep)
@@ -90,6 +92,7 @@ def fig15_thread_scaling(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Fig. 15: SkyByte-Full throughput and SSD bandwidth vs threads.
 
@@ -111,7 +114,7 @@ def fig15_thread_scaling(
             for threads in thread_counts
         )
     sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                           progress=progress))
+                           progress=progress, policy=policy))
     rows: Dict[str, Dict[int, Dict[str, float]]] = {}
     for wl in workloads:
         baseline = next(sweep)
@@ -139,6 +142,7 @@ def fig16_request_breakdown(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 16: fraction of requests per class (H-R/W, S-R-H, S-R-M, S-W)
     under the full SkyByte design."""
@@ -150,6 +154,7 @@ def fig16_request_breakdown(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     )
     return {wl: r.stats.request_breakdown() for wl, r in zip(workloads, sweep)}
 
@@ -162,6 +167,7 @@ def fig17_amat(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 17: AMAT and its component breakdown per design.
 
@@ -182,6 +188,7 @@ def fig17_amat(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     ))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
@@ -203,6 +210,7 @@ def fig18_write_traffic(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 18: flash write traffic normalized to Base-CSSD.
 
@@ -220,6 +228,7 @@ def fig18_write_traffic(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     ))
     rows: Dict[str, Dict[str, float]] = {}
     for wl in workloads:
@@ -242,6 +251,7 @@ def table3_flash_read_latency(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, float]:
     """Table III: average flash read latency (us) under SkyByte-WP.
 
@@ -257,6 +267,7 @@ def table3_flash_read_latency(
         cache=cache,
         backend=backend,
         progress=progress,
+        policy=policy,
     )
     return {
         wl: r.stats.flash_read_latency.mean / 1000.0

@@ -38,6 +38,7 @@ def _log_size_sweep(
     cache: object,
     backend: object,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[int, "object"]]:
     """One SkyByte-Full run per (workload, log size), as a nested dict."""
     specs = [
@@ -48,7 +49,7 @@ def _log_size_sweep(
         for size in log_sizes
     ]
     sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                           progress=progress))
+                           progress=progress, policy=policy))
     return {wl: {size: next(sweep) for size in log_sizes} for wl in workloads}
 
 
@@ -60,6 +61,7 @@ def fig19_log_size_performance(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig. 19: SkyByte-Full execution time vs write-log size (total SSD
     DRAM fixed).  Normalized to the largest log.  Paper shape: a log of
@@ -68,7 +70,7 @@ def fig19_log_size_performance(
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
     cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache,
-                            backend, progress)
+                            backend, progress, policy)
     rows: Dict[str, Dict[int, float]] = {}
     for wl in workloads:
         ref_ipns = None
@@ -90,6 +92,7 @@ def fig20_log_size_traffic(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[int, float]]:
     """Fig. 20: flash write traffic vs write-log size, normalized to the
     smallest log.  Paper shape: traffic falls steeply as the log (and so
@@ -97,7 +100,7 @@ def fig20_log_size_traffic(
     workloads = list(workloads or WORKLOAD_NAMES)
     records = records or default_records()
     cells = _log_size_sweep(workloads, log_sizes, records, jobs, cache,
-                            backend, progress)
+                            backend, progress, policy)
     rows: Dict[str, Dict[int, float]] = {}
     for wl in workloads:
         ref_rate = None
@@ -121,6 +124,7 @@ def fig21_dram_size(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Fig. 21: execution time vs SSD DRAM cache size per design.
 
@@ -149,7 +153,7 @@ def fig21_dram_size(
             for size in sizes
         )
     sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                           progress=progress))
+                           progress=progress, policy=policy))
     rows: Dict[str, Dict[str, Dict[int, float]]] = {}
     for wl in workloads:
         ref = next(sweep)
@@ -174,6 +178,7 @@ def fig22_flash_latency(
     cache: object = None,
     backend: object = None,
     progress: object = None,
+    policy: object = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 22: performance with ULL/ULL2/SLC/MLC flash.
 
@@ -207,7 +212,7 @@ def fig22_flash_latency(
                 for threads in thread_counts
             )
     sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
-                           progress=progress))
+                           progress=progress, policy=policy))
     rows: Dict[str, Dict[str, Dict[str, float]]] = {}
     for wl in workloads:
         ref = next(sweep)

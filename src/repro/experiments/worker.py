@@ -6,10 +6,17 @@ protocol of :mod:`repro.experiments.backends`: it announces itself with
 a ``hello``, then answers each ``job`` message with a ``result`` until
 the coordinator says ``bye`` (or the connection closes).
 
-Two ways to wire a worker to a coordinator:
+Three ways to wire a worker to a coordinator:
 
 * ``--listen [HOST:]PORT`` -- bind and serve coordinator connections
   one after another (the coordinator dials with ``--workers``);
+* ``--listen [HOST:]PORT --register REGHOST:REGPORT`` -- additionally
+  announce the bound address to a worker registry (``python -m repro
+  registry``; see :mod:`repro.experiments.registry`) and heartbeat it,
+  so coordinators discover this worker with ``--registry`` instead of
+  a static address list -- including mid-sweep (elastic join).  When
+  the bound host is not what coordinators should dial (``0.0.0.0``,
+  NAT), override the announced address with ``--announce HOST:PORT``;
 * ``--connect HOST:PORT`` -- dial a listening coordinator
   (``DistributedBackend(listen=...)``), retrying briefly so workers can
   be started before the sweep.  After each sweep the worker redials, so
@@ -93,16 +100,25 @@ def run_worker(
     retries: int = 40,
     retry_delay: float = 0.25,
     once: bool = False,
+    register: Optional[str] = None,
+    announce: Optional[str] = None,
+    heartbeat: float = 2.0,
     out: TextIO = sys.stdout,
 ) -> int:
     """Entry point behind ``python -m repro worker``; returns an exit code.
 
     Exactly one of ``connect``/``listen`` must be given.  ``once`` makes
     a listening worker exit after its first coordinator connection
-    (handy for smoke tests and CI).
+    (handy for smoke tests and CI).  ``register`` (listen mode only)
+    announces the worker to a registry at that address, heartbeating
+    every ``heartbeat`` seconds; ``announce`` overrides the announced
+    address when the bound one is not dialable from the coordinator.
     """
     if (connect is None) == (listen is None):
         raise ValueError("exactly one of connect= or listen= is required")
+    if register is not None and listen is None:
+        raise ValueError("--register needs --listen (a registry hands "
+                         "out dialable worker addresses)")
 
     if connect is not None:
         address = backends.parse_address(connect)
@@ -158,16 +174,44 @@ def run_worker(
     host, port = server.getsockname()[:2]
     # Scripts parse this line to learn the bound port (PORT may be 0).
     print(f"worker: listening on {host}:{port}", file=out, flush=True)
-    with server:
-        while True:
-            sock, peer = server.accept()
-            with sock:
-                served, from_cache = serve_connection(sock, cache)
-            print(
-                "worker: served %d cell(s) (%d from cache) for %s:%d"
-                % (served, from_cache, *peer[:2]),
-                file=out,
-                flush=True,
-            )
-            if once:
-                return 0
+    announcer = None
+    if register is not None:
+        from repro.experiments.registry import Announcer
+
+        announcer = Announcer(
+            register, announce or (host, port), interval=heartbeat
+        ).start()
+        print(f"worker: announcing {announcer.address} to registry "
+              f"{announcer.registry[0]}:{announcer.registry[1]}",
+              file=out, flush=True)
+    try:
+        with server:
+            while True:
+                sock, peer = server.accept()
+                try:
+                    with sock:
+                        served, from_cache = serve_connection(sock, cache)
+                except OSError as exc:
+                    # A coordinator that hung up mid-cell (cell timeout,
+                    # crash) must not take the worker down with it: log
+                    # and serve the next coordinator.
+                    print(
+                        "worker: coordinator %s:%d dropped mid-cell (%s)"
+                        % (*peer[:2], exc),
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                    if once:
+                        return 1
+                    continue
+                print(
+                    "worker: served %d cell(s) (%d from cache) for %s:%d"
+                    % (served, from_cache, *peer[:2]),
+                    file=out,
+                    flush=True,
+                )
+                if once:
+                    return 0
+    finally:
+        if announcer is not None:
+            announcer.close()

@@ -14,6 +14,18 @@ import warnings
 from typing import Callable, List, Optional, Tuple
 
 
+class PastEventWarning(RuntimeWarning):
+    """:meth:`Engine.schedule_at` was handed a time in the past (clamped).
+
+    The warning text is deliberately constant: the ``warnings`` module
+    deduplicates on (message, category, call site), so a tight sweep
+    that clamps once per cell emits **one** line per offending call
+    site per process instead of flooding distributed worker logs.
+    Per-engine details live in :attr:`Engine.past_clamps` and
+    :attr:`Engine.last_past_clamp`.
+    """
+
+
 class Engine:
     """A deterministic discrete-event simulator clock."""
 
@@ -27,6 +39,10 @@ class Engine:
         self._seq = 0
         self._now = 0.0
         self._stopped = False
+        #: Count of past-time schedule_at calls clamped on this engine.
+        self.past_clamps = 0
+        #: ``(when, now)`` of the most recent clamp, or None.
+        self.last_past_clamp: Optional[Tuple[float, float]] = None
 
     @property
     def now(self) -> float:
@@ -49,18 +65,24 @@ class Engine:
 
         Past-time semantics: a ``when`` strictly earlier than ``now`` (beyond
         :data:`PAST_TOLERANCE_NS` of floating-point slack) is **clamped to
-        now** and a :class:`RuntimeWarning` is emitted -- the callback still
-        runs, at the current instant, after events already queued for it.
-        Scheduling in the past is almost always a caller bug (a completion
-        time computed from stale state), so it is surfaced rather than
-        silently absorbed, but clamping keeps long sweeps alive instead of
-        aborting mid-simulation.
+        now** and a :class:`PastEventWarning` (a :class:`RuntimeWarning`) is
+        emitted -- the callback still runs, at the current instant, after
+        events already queued for it.  Scheduling in the past is almost
+        always a caller bug (a completion time computed from stale state),
+        so it is surfaced rather than silently absorbed, but clamping keeps
+        long sweeps alive instead of aborting mid-simulation.  The warning
+        is deduplicated per call site (constant message, see
+        :class:`PastEventWarning`); every occurrence is still counted in
+        :attr:`past_clamps` / :attr:`last_past_clamp`.
         """
         if when < self._now - self.PAST_TOLERANCE_NS:
+            self.past_clamps += 1
+            self.last_past_clamp = (when, self._now)
             warnings.warn(
-                f"schedule_at({when!r}) is {self._now - when:.3f} ns in the "
-                f"past (now={self._now!r}); clamping to now",
-                RuntimeWarning,
+                "schedule_at received a time in the past; clamping to now "
+                "(deduplicated per call site -- see Engine.past_clamps / "
+                "Engine.last_past_clamp for details)",
+                PastEventWarning,
                 stacklevel=2,
             )
         self.schedule(when - self._now, callback)

@@ -16,6 +16,7 @@ import pytest
 from repro.experiments import backends
 from repro.experiments import worker as worker_mod
 from repro.experiments.backends import (
+    CellPolicy,
     DistributedBackend,
     LocalProcessBackend,
     SweepBackend,
@@ -106,6 +107,61 @@ class TestResolution:
         assert LocalProcessBackend(4).describe() == "local[jobs=4]"
         assert ThreadBackend(2).describe() == "thread[jobs=2]"
         assert SweepBackend().describe() == "abstract"
+
+    def test_registry_spec(self, monkeypatch):
+        monkeypatch.delenv(backends.REGISTRY_ENV, raising=False)
+        backend = resolve_backend("registry:reghost:7470")
+        assert isinstance(backend, DistributedBackend)
+        assert backend.registry == ("reghost", 7470)
+        with pytest.raises(ValueError, match="registry address"):
+            resolve_backend("registry")
+        monkeypatch.setenv(backends.REGISTRY_ENV, "envhost:7471")
+        assert resolve_backend("registry").registry == ("envhost", 7471)
+
+    def test_policy_reaches_instances_and_specs(self):
+        policy = CellPolicy(cell_timeout=1.5, retry_budget=7)
+        spec_built = resolve_backend("distributed:h:1", policy=policy)
+        assert spec_built.policy is policy
+        instance = DistributedBackend(workers=["h:1"])
+        assert resolve_backend(instance, policy=policy).policy is policy
+
+
+class TestCellPolicy:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(backends.CELL_TIMEOUT_ENV, raising=False)
+        monkeypatch.delenv(backends.RETRY_BUDGET_ENV, raising=False)
+        policy = CellPolicy.from_env()
+        assert policy.cell_timeout is None
+        assert policy.retry_budget == 3
+        assert policy.quarantine_after == 3
+        assert policy.describe() == "timeout=inf,budget=3"
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(backends.CELL_TIMEOUT_ENV, "2.5")
+        monkeypatch.setenv(backends.RETRY_BUDGET_ENV, "5")
+        policy = CellPolicy.from_env()
+        assert policy.cell_timeout == 2.5
+        assert policy.retry_budget == 5
+        assert policy.describe() == "timeout=2.5s,budget=5"
+
+    def test_zero_timeout_means_unlimited(self, monkeypatch):
+        monkeypatch.setenv(backends.CELL_TIMEOUT_ENV, "0")
+        assert CellPolicy.from_env().cell_timeout is None
+        assert CellPolicy(cell_timeout=-1.0).cell_timeout is None
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(backends.CELL_TIMEOUT_ENV, "soon")
+        monkeypatch.setenv(backends.RETRY_BUDGET_ENV, "many")
+        policy = CellPolicy.from_env()
+        assert policy.cell_timeout is None
+        assert policy.retry_budget == 3
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="retry_budget"):
+            CellPolicy(retry_budget=0)
+
+    def test_explicit_quarantine_kept(self):
+        assert CellPolicy(retry_budget=5, quarantine_after=2).quarantine_after == 2
 
 
 class TestThreadBackend:
@@ -211,9 +267,82 @@ class TestDistributedBackend:
             results = run_sweep(tiny_jobs(), cache=False, backend=backend)
         assert dumps(results) == dumps(run_sweep(tiny_jobs(), jobs=1, cache=False))
 
-    def test_all_workers_dead_raises_with_diagnostics(self):
-        """Dial mode: every worker dying with cells left is an error, and
-        the error says why the connections went down."""
+    def test_cell_timeout_retries_on_another_worker(self):
+        """An attempt exceeding the cell timeout is abandoned and the
+        cell retried on a live worker, within budget."""
+        policy = CellPolicy(cell_timeout=0.5, retry_budget=3)
+        with DistributedBackend(listen="127.0.0.1:0", policy=policy) as backend:
+            stalled = threading.Event()
+
+            def stalling_worker():
+                sock = socket.create_connection(backend.address)
+                rfile = sock.makefile("r", encoding="utf-8")
+                backends.send_msg(
+                    sock, {"type": "hello", "version": backends.PROTOCOL_VERSION}
+                )
+                backends.recv_msg(rfile)  # take the cell...
+                stalled.set()
+                time.sleep(30)  # ...and never answer (hung host)
+                sock.close()
+
+            def good_worker_after_stall():
+                # Join only once the staller owns the cell, so the
+                # retry provably lands on a different worker.
+                assert stalled.wait(timeout=20)
+                start_inprocess_worker(backend.address)
+
+            threading.Thread(target=stalling_worker, daemon=True).start()
+            threading.Thread(target=good_worker_after_stall,
+                             daemon=True).start()
+            results = run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+            assert stalled.is_set()
+        assert dumps(results) == dumps(
+            run_sweep(tiny_jobs()[:1], jobs=1, cache=False)
+        )
+
+    def test_repeatedly_failing_worker_quarantined(self):
+        """quarantine_after failures on one connection stop it from
+        eating the whole retry budget; a healthy worker finishes."""
+        policy = CellPolicy(retry_budget=10, quarantine_after=2)
+        with DistributedBackend(listen="127.0.0.1:0", policy=policy) as backend:
+            jobs_seen = []
+            got_bye = threading.Event()
+
+            def bad_worker():
+                sock = socket.create_connection(backend.address)
+                rfile = sock.makefile("r", encoding="utf-8")
+                backends.send_msg(
+                    sock, {"type": "hello", "version": backends.PROTOCOL_VERSION}
+                )
+                while True:
+                    msg = backends.recv_msg(rfile)
+                    if msg is None or msg.get("type") != "job":
+                        got_bye.set()  # dismissed by the quarantine
+                        return
+                    jobs_seen.append(msg["key"])
+                    backends.send_msg(
+                        sock,
+                        {"type": "result", "id": msg["id"],
+                         "ok": False, "error": "flaky host"},
+                    )
+                    if len(jobs_seen) == 2:
+                        # Only now bring in the healthy worker, so every
+                        # pre-quarantine attempt hit this flaky one.
+                        start_inprocess_worker(backend.address)
+
+            threading.Thread(target=bad_worker, daemon=True).start()
+            results = run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+            assert got_bye.wait(timeout=10)
+        # Exactly quarantine_after attempts reached the flaky worker,
+        # and the budget (10) was nowhere near exhausted.
+        assert len(jobs_seen) == 2
+        assert dumps(results) == dumps(
+            run_sweep(tiny_jobs()[:1], jobs=1, cache=False)
+        )
+
+    def test_all_attempts_dead_exhausts_retry_budget(self):
+        """Dial mode: a worker that keeps dying mid-cell burns the cell's
+        retry budget, and the error carries the failure history."""
         server = socket.create_server(("127.0.0.1", 0))
 
         def doomed_worker():
@@ -234,7 +363,32 @@ class TestDistributedBackend:
         host, port = server.getsockname()[:2]
         backend = DistributedBackend(workers=[f"{host}:{port}"],
                                      connect_timeout=2.0)
-        with server, pytest.raises(RuntimeError, match="unfinished.*mid-cell"):
+        with server, pytest.raises(
+            RuntimeError, match="retry budget 3 exhausted.*mid-cell"
+        ):
+            run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+
+    def test_all_workers_unreachable_raises_with_diagnostics(self):
+        """Dial mode: when the lone worker address stops accepting after
+        dying mid-cell, the sweep reports the unfinished cells and why."""
+        server = socket.create_server(("127.0.0.1", 0))
+
+        def one_shot_worker():
+            sock, _peer = server.accept()
+            rfile = sock.makefile("r", encoding="utf-8")
+            backends.send_msg(
+                sock, {"type": "hello", "version": backends.PROTOCOL_VERSION}
+            )
+            backends.recv_msg(rfile)  # take a cell
+            rfile.close()
+            sock.close()
+            server.close()  # refuse every redial
+
+        threading.Thread(target=one_shot_worker, daemon=True).start()
+        host, port = server.getsockname()[:2]
+        backend = DistributedBackend(workers=[f"{host}:{port}"],
+                                     connect_timeout=2.0)
+        with pytest.raises(RuntimeError, match="unfinished.*mid-cell"):
             run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
 
     def test_protocol_version_mismatch_rejected(self):

@@ -59,6 +59,66 @@ def test_sweep_writes_results_and_reports_cache(capsys, tmp_path):
     assert repeat["results"] == payload["results"]
 
 
+def test_sweep_stream_emits_ndjson_per_cell(capsys, tmp_path):
+    out = tmp_path / "stream.json"
+    rc = main(["sweep", "--workloads", "bc", "--variants",
+               "Base-CSSD,DRAM-Only", "--records", R, "--no-cache",
+               "--stream", "--output", str(out)])
+    assert rc == 0
+    lines = [json.loads(line)
+             for line in capsys.readouterr().out.splitlines()
+             if line.startswith("{")]
+    assert [(e["completed"], e["total"]) for e in lines] == [(1, 2), (2, 2)]
+    assert {e["variant"] for e in lines} == {"Base-CSSD", "DRAM-Only"}
+    assert all(e["source"] == "run" for e in lines)
+    # Streaming never changes results: the saved JSON matches a
+    # barrier-mode run byte for byte.
+    barrier = tmp_path / "barrier.json"
+    assert main(["sweep", "--workloads", "bc", "--variants",
+                 "Base-CSSD,DRAM-Only", "--records", R, "--no-cache",
+                 "--quiet", "--output", str(barrier)]) == 0
+    capsys.readouterr()
+    assert (json.loads(out.read_text())["results"]
+            == json.loads(barrier.read_text())["results"])
+
+
+def test_cell_policy_flags_reach_backend():
+    import argparse
+
+    from repro.cli import _backend_from_args
+
+    args = argparse.Namespace(listen=None, workers=["h:1"], backend=None,
+                              jobs=None, registry=None, cell_timeout=1.5,
+                              retry_budget=2)
+    backend = _backend_from_args(args)
+    assert backend.policy.cell_timeout == 1.5
+    assert backend.policy.retry_budget == 2
+
+
+def test_registry_flag_builds_registry_backend():
+    import argparse
+
+    from repro.cli import _backend_from_args
+
+    args = argparse.Namespace(listen=None, workers=None, backend=None,
+                              jobs=None, registry="reghost:7470",
+                              cell_timeout=None, retry_budget=None)
+    backend = _backend_from_args(args)
+    try:
+        assert backend.registry == ("reghost", 7470)
+        assert backend.workers == []
+    finally:
+        backend.close()
+
+
+def test_registry_conflicts_with_non_distributed_backend(capsys):
+    rc = main(["sweep", "--workloads", "bc", "--variants", "Base-CSSD",
+               "--records", R, "--no-cache", "--quiet",
+               "--registry", "reghost:7470", "--backend", "thread"])
+    assert rc == 2
+    assert "incompatible" in capsys.readouterr().err
+
+
 def test_sweep_multiple_cells_table(capsys, tmp_path):
     rc = main(["sweep", "--workloads", "bc,ycsb", "--variants",
                "Base-CSSD,DRAM-Only", "--records", R, "--no-cache", "--quiet"])

@@ -4,7 +4,7 @@ import warnings
 
 import pytest
 
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, PastEventWarning
 
 
 def test_events_run_in_time_order():
@@ -64,6 +64,28 @@ def test_schedule_at_past_warns_and_clamps():
     # The callback still runs, clamped to the scheduling instant.
     assert seen == [10.0]
     assert end == 10.0
+
+
+def test_past_warning_deduplicated_per_call_site():
+    """Tight sweeps clamp once per cell; the warning must not flood the
+    logs -- the ``warnings`` registry dedups the constant message per
+    call site, while Engine.past_clamps still counts every occurrence."""
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")  # stdlib per-call-site dedup
+        for _ in range(5):
+            engine.schedule_at(1.0, lambda: None)  # one source line
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, PastEventWarning)
+    assert engine.past_clamps == 5
+    assert engine.last_past_clamp == (1.0, 10.0)
+
+
+def test_past_warning_is_a_runtime_warning():
+    # Existing filters/tests keyed on RuntimeWarning keep working.
+    assert issubclass(PastEventWarning, RuntimeWarning)
 
 
 def test_schedule_at_now_or_future_does_not_warn():

@@ -29,7 +29,7 @@ from repro.experiments.backends import (
     LocalProcessBackend,
     ThreadBackend,
 )
-from repro.experiments.orchestrator import SweepJob, run_sweep
+from repro.experiments.orchestrator import SweepJob, run_sweep, stream_sweep
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 RECORDS = 100  # short but long enough to exercise flash, cache and log paths
@@ -143,6 +143,16 @@ def test_distributed_dial_mode_matches_golden(spawn_worker):
     results = run_sweep(golden_jobs(), cache=False, backend=backend)
     assert_matches_golden(results)
     assert proc.wait(timeout=30) == 0
+
+
+def test_streamed_results_match_golden():
+    """Streaming delivery (stream_sweep) is byte-identical to the
+    barrier path: same cells, same pins, whatever order they complete."""
+    results = [None] * len(CELLS)
+    for update in stream_sweep(golden_jobs(), jobs=1, cache=False):
+        for i in update.positions:
+            results[i] = update.result
+    assert_matches_golden(results)
 
 
 def test_cached_results_match_golden(tmp_path):

@@ -1,0 +1,287 @@
+"""Chaos-style tests for the worker registry and elastic sweeps.
+
+The acceptance scenario of the registry subsystem: a sweep started
+against a registry with live workers completes correctly when a worker
+is killed mid-cell (the cell is retried elsewhere within its budget),
+a cell whose budget is exhausted fails the sweep with a clear error,
+and a late-joining worker picks up queued cells.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from _worker_utils import read_worker_address
+from repro.experiments import backends
+from repro.experiments import worker as worker_mod
+from repro.experiments.backends import CellPolicy, DistributedBackend
+from repro.experiments.orchestrator import SweepJob, run_sweep
+from repro.experiments.registry import (
+    Announcer,
+    Registry,
+    fetch_workers,
+    format_address,
+)
+
+R = 120  # tiny traces: these tests check plumbing, not magnitudes
+
+
+def tiny_jobs():
+    return [
+        SweepJob.make("bc", "Base-CSSD", records_per_thread=R),
+        SweepJob.make("bc", "DRAM-Only", records_per_thread=R),
+        SweepJob.make("ycsb", "SkyByte-Full", records_per_thread=R),
+    ]
+
+
+def dumps(results):
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+class InProcessWorker:
+    """A real worker loop (``serve_connection``) behind a listener,
+    announced to a registry -- join/leave in one line of test code."""
+
+    def __init__(self, registry_address, interval=0.2):
+        self.server = socket.create_server(("127.0.0.1", 0))
+        self.address = self.server.getsockname()[:2]
+        self.served_connections = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        self.announcer = Announcer(
+            registry_address, self.address, interval=interval
+        ).start()
+
+    def _loop(self):
+        while True:
+            try:
+                sock, _peer = self.server.accept()
+            except OSError:
+                return
+            self.served_connections += 1
+            try:
+                with sock:
+                    worker_mod.serve_connection(sock)
+            except OSError:
+                pass  # coordinator hung up mid-cell; keep serving
+
+    def kill(self):
+        """SIGKILL analogue: the listener vanishes, heartbeats stop."""
+        self.announcer.close()
+        self.server.close()
+
+
+def wait_for_workers(registry, count, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(registry.workers()) >= count:
+            return registry.workers()
+        time.sleep(0.05)
+    raise AssertionError(
+        f"registry never saw {count} worker(s): {registry.workers()}"
+    )
+
+
+class TestRegistry:
+    def test_announce_fetch_and_leave(self):
+        with Registry("127.0.0.1:0") as registry:
+            announcer = Announcer(
+                registry.address, ("127.0.0.1", 7777), interval=0.2
+            ).start()
+            wait_for_workers(registry, 1)
+            assert fetch_workers(registry.address) == ["127.0.0.1:7777"]
+            announcer.close()  # connection drop deregisters immediately
+            deadline = time.monotonic() + 5.0
+            while fetch_workers(registry.address) and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert fetch_workers(registry.address) == []
+
+    def test_stale_worker_pruned_without_disconnect(self):
+        """A SIGKILLed worker's TCP connection can linger; the registry
+        must drop it once heartbeats stop."""
+        with Registry("127.0.0.1:0", stale_after=0.4) as registry:
+            sock = socket.create_connection(registry.address)
+            rfile = sock.makefile("r", encoding="utf-8")
+            backends.send_msg(sock, {
+                "type": "announce", "version": backends.PROTOCOL_VERSION,
+                "address": "127.0.0.1:7778",
+            })
+            assert backends.recv_msg(rfile)["ok"] is True
+            assert registry.workers() == ["127.0.0.1:7778"]
+            time.sleep(0.6)  # no heartbeats: past stale_after
+            assert registry.workers() == []
+            sock.close()
+
+    def test_stale_pruned_worker_recovers_on_next_heartbeat(self):
+        """A worker pruned as stale (long GC pause, VM suspend) whose
+        connection survived must re-register with its next heartbeat."""
+        with Registry("127.0.0.1:0", stale_after=0.3) as registry:
+            # Heartbeat slower than the staleness window: the entry is
+            # pruned between beats and must revive on each one.
+            announcer = Announcer(
+                registry.address, ("127.0.0.1", 7779), interval=1.0
+            ).start()
+            wait_for_workers(registry, 1)
+            deadline = time.monotonic() + 5.0
+            while registry.workers() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert registry.workers() == []  # pruned as stale
+            wait_for_workers(registry, 1)  # ...and back after one beat
+            announcer.close()
+
+    def test_bad_protocol_version_rejected(self):
+        with Registry("127.0.0.1:0") as registry:
+            sock = socket.create_connection(registry.address)
+            rfile = sock.makefile("r", encoding="utf-8")
+            backends.send_msg(sock, {"type": "workers", "version": -1})
+            reply = backends.recv_msg(rfile)
+            sock.close()
+            assert reply["ok"] is False
+            assert "protocol" in reply["error"]
+
+    def test_unexpected_first_message_rejected(self):
+        with Registry("127.0.0.1:0") as registry:
+            sock = socket.create_connection(registry.address)
+            rfile = sock.makefile("r", encoding="utf-8")
+            backends.send_msg(
+                sock, {"type": "gossip", "version": backends.PROTOCOL_VERSION}
+            )
+            reply = backends.recv_msg(rfile)
+            sock.close()
+            assert reply["ok"] is False
+            assert registry.workers() == []
+
+    def test_format_address(self):
+        assert format_address("7001") == "127.0.0.1:7001"
+        assert format_address(("host", 9)) == "host:9"
+
+
+class TestRegistryBackend:
+    def test_sweep_through_registry_matches_serial(self):
+        serial = run_sweep(tiny_jobs(), jobs=1, cache=False)
+        with Registry("127.0.0.1:0") as registry:
+            workers = [InProcessWorker(registry.address) for _ in range(2)]
+            wait_for_workers(registry, 2)
+            backend = DistributedBackend(
+                registry="%s:%d" % registry.address)
+            results = run_sweep(tiny_jobs(), cache=False, backend=backend)
+            for worker in workers:
+                worker.kill()
+        assert dumps(results) == dumps(serial)
+
+    def test_worker_killed_mid_cell_retried_elsewhere(self):
+        """The acceptance scenario: one of two registered workers dies
+        mid-cell; its cell is retried on the survivor within budget."""
+        serial = run_sweep(tiny_jobs(), jobs=1, cache=False)
+        with Registry("127.0.0.1:0") as registry:
+            # The doomed worker: takes one cell, then is "SIGKILLed".
+            doomed = socket.create_server(("127.0.0.1", 0))
+            doomed_announcer = Announcer(
+                registry.address, doomed.getsockname()[:2], interval=0.2
+            ).start()
+
+            def doomed_loop():
+                sock, _peer = doomed.accept()
+                rfile = sock.makefile("r", encoding="utf-8")
+                backends.send_msg(sock, {
+                    "type": "hello", "version": backends.PROTOCOL_VERSION,
+                })
+                backends.recv_msg(rfile)  # accept a cell...
+                doomed_announcer.close()  # ...die: no heartbeats,
+                rfile.close()
+                sock.close()  # connection gone mid-cell,
+                doomed.close()  # and the address stops accepting
+
+            threading.Thread(target=doomed_loop, daemon=True).start()
+            wait_for_workers(registry, 1)
+            survivor = InProcessWorker(registry.address)
+            wait_for_workers(registry, 2)
+            backend = DistributedBackend(registry="%s:%d" % registry.address)
+            results = run_sweep(tiny_jobs(), cache=False, backend=backend)
+            survivor.kill()
+        assert dumps(results) == dumps(serial)
+
+    def test_retry_budget_exhausted_fails_with_clear_error(self):
+        with Registry("127.0.0.1:0") as registry:
+            bad = socket.create_server(("127.0.0.1", 0))
+            announcer = Announcer(
+                registry.address, bad.getsockname()[:2], interval=0.2
+            ).start()
+
+            def bad_loop():
+                while True:
+                    try:
+                        sock, _peer = bad.accept()
+                    except OSError:
+                        return
+                    rfile = sock.makefile("r", encoding="utf-8")
+                    backends.send_msg(sock, {
+                        "type": "hello",
+                        "version": backends.PROTOCOL_VERSION,
+                    })
+                    while True:
+                        msg = backends.recv_msg(rfile)
+                        if msg is None or msg.get("type") != "job":
+                            break
+                        backends.send_msg(sock, {
+                            "type": "result", "id": msg["id"],
+                            "ok": False, "error": "boom",
+                        })
+                    sock.close()
+
+            threading.Thread(target=bad_loop, daemon=True).start()
+            wait_for_workers(registry, 1)
+            backend = DistributedBackend(
+                registry="%s:%d" % registry.address,
+                policy=CellPolicy(retry_budget=2),
+            )
+            with pytest.raises(
+                RuntimeError, match="retry budget 2 exhausted.*boom"
+            ):
+                run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+            announcer.close()
+            bad.close()
+
+    def test_late_joining_worker_picks_up_queued_cells(self):
+        """A sweep started against an empty registry waits; a worker
+        announced later drains the queue."""
+        serial = run_sweep(tiny_jobs(), jobs=1, cache=False)
+        with Registry("127.0.0.1:0") as registry:
+            backend = DistributedBackend(registry="%s:%d" % registry.address)
+            results_box = {}
+
+            def sweep():
+                results_box["results"] = run_sweep(
+                    tiny_jobs(), cache=False, backend=backend
+                )
+
+            thread = threading.Thread(target=sweep, daemon=True)
+            thread.start()
+            time.sleep(0.8)  # the sweep is queued with zero workers
+            assert thread.is_alive()
+            late = InProcessWorker(registry.address)
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+            late.kill()
+        assert dumps(results_box["results"]) == dumps(serial)
+
+    def test_cli_worker_registers_and_serves(self, spawn_worker):
+        """End-to-end through the real CLI: ``repro worker --listen 0
+        --register HOST:PORT`` announces itself and serves a sweep
+        discovered purely through the registry."""
+        serial = run_sweep(tiny_jobs(), jobs=1, cache=False)
+        with Registry("127.0.0.1:0") as registry:
+            proc = spawn_worker(
+                "--listen", "127.0.0.1:0",
+                "--register", "%s:%d" % registry.address,
+                "--once", "--no-cache",
+            )
+            read_worker_address(proc)  # "listening on ..." line
+            wait_for_workers(registry, 1)
+            backend = DistributedBackend(registry="%s:%d" % registry.address)
+            results = run_sweep(tiny_jobs(), cache=False, backend=backend)
+            assert proc.wait(timeout=30) == 0
+        assert dumps(results) == dumps(serial)
