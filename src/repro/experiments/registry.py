@@ -1,0 +1,340 @@
+"""Worker registry: discovery and liveness for elastic distributed sweeps.
+
+The static ``--workers HOST:PORT,...`` lists of
+:class:`~repro.experiments.backends.DistributedBackend` require the
+operator to know every worker up front and to restart the sweep when
+the fleet changes.  The registry removes both constraints:
+
+* a :class:`Registry` is a tiny TCP service (``python -m repro
+  registry``) workers and coordinators both know the address of;
+* each worker (``python -m repro worker --listen PORT --register
+  REGHOST:REGPORT``) runs an :class:`Announcer`: a background thread
+  that holds a connection to the registry, announces the worker's
+  dialable address, and heartbeats on an interval.  A worker whose
+  connection drops *or* whose heartbeats stop (a SIGKILLed process
+  keeps no promises) is deregistered after :attr:`Registry.stale_after`
+  seconds;
+* a coordinator (``DistributedBackend(registry="HOST:PORT")``, CLI
+  ``--registry``) polls :func:`fetch_workers` while a sweep is running
+  and dials every live worker it is not already connected to -- so
+  workers can join mid-sweep and immediately pick up queued cells, and
+  a worker that dies simply stops being re-dialed while its in-flight
+  cell is retried elsewhere (see the per-cell
+  :class:`~repro.experiments.backends.CellPolicy`).
+
+The registry speaks the same newline-delimited JSON protocol (and
+:data:`~repro.experiments.backends.PROTOCOL_VERSION`) as the sweep wire
+protocol.  Three message flows:
+
+* worker -> registry: ``{"type": "announce", "address": "H:P"}`` then
+  ``{"type": "heartbeat"}`` every ``interval`` seconds;
+* coordinator -> registry: ``{"type": "workers"}`` answered with
+  ``{"type": "workers", "workers": ["H:P", ...]}`` (one-shot);
+* registry -> either: ``{"ok": false, "error": ...}`` on a bad request.
+
+The registry holds **no sweep state** -- it is a pure membership view,
+safe to restart at any time (announcers reconnect with backoff, and a
+coordinator that cannot reach it keeps working with the workers it
+already dialed).  See ``docs/DISTRIBUTED.md`` for operator guidance.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.experiments.backends import (
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_msg,
+    send_msg,
+)
+
+#: Default seconds between worker heartbeats.
+HEARTBEAT_INTERVAL = 2.0
+
+#: Default seconds without a heartbeat before a worker is presumed dead.
+#: Three missed beats: one lost message is noise, three is a corpse.
+STALE_AFTER = 3 * HEARTBEAT_INTERVAL
+
+
+def format_address(address: Union[str, Tuple[str, int]]) -> str:
+    """Canonical ``host:port`` text for an address in either form."""
+    host, port = parse_address(address)
+    return f"{host}:{port}"
+
+
+class Registry:
+    """The membership service: accepts announcements, answers queries.
+
+    ``listen`` is the bind address (port 0 picks a free port; see
+    :attr:`address`).  Use as a context manager, or :meth:`start` /
+    :meth:`close` explicitly; :meth:`serve_forever` blocks (the CLI
+    path).  ``log`` receives one line per join/leave for operator logs.
+    """
+
+    def __init__(
+        self,
+        listen: Union[str, Tuple[str, int]] = "127.0.0.1:0",
+        stale_after: float = STALE_AFTER,
+        log: Optional[TextIO] = None,
+    ) -> None:
+        self.stale_after = stale_after
+        self._log = log
+        self._server = socket.create_server(parse_address(listen))
+        self._alive: Dict[str, float] = {}  # address -> last-seen monotonic
+        #: address -> connection token of the current registrant, so a
+        #: dying *older* connection for an address cannot deregister a
+        #: newer live one.
+        self._owner: Dict[str, int] = {}
+        self._conn_seq = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) the registry is bound to."""
+        return self._server.getsockname()[:2]
+
+    def __enter__(self) -> "Registry":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _say(self, line: str) -> None:
+        if self._log is not None:
+            print(f"registry: {line}", file=self._log, flush=True)
+
+    # -- membership --------------------------------------------------------
+
+    def _prune_locked(self) -> None:
+        deadline = time.monotonic() - self.stale_after
+        for address, seen in list(self._alive.items()):
+            if seen < deadline:
+                del self._alive[address]
+                self._owner.pop(address, None)
+                self._say(f"worker {address} stale (no heartbeat), dropped")
+
+    def workers(self) -> List[str]:
+        """Live worker addresses (stale entries pruned), sorted."""
+        with self._lock:
+            self._prune_locked()
+            return sorted(self._alive)
+
+    # -- server ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin accepting connections on a daemon thread."""
+        if self._accept_thread is not None:
+            return
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="registry-accept", daemon=True
+        )
+        self._accept_thread.start()
+        host, port = self.address
+        self._say(f"listening on {host}:{port}")
+
+    def serve_forever(self) -> None:
+        """Block serving until :meth:`close` (Ctrl-C exits cleanly)."""
+        self.start()
+        try:
+            while not self._stop.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+
+    def _accept_loop(self) -> None:
+        self._server.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                sock, _peer = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(sock,),
+                name="registry-conn", daemon=True,
+            ).start()
+
+    def _serve(self, sock: socket.socket) -> None:
+        """One connection: an announcing worker or a one-shot query."""
+        address: Optional[str] = None
+        token = 0
+        try:
+            # Generous per-message timeout: an announcer heartbeats far
+            # more often than this, so a silent peer is a dead peer.
+            sock.settimeout(max(self.stale_after, 1.0))
+            rfile = sock.makefile("r", encoding="utf-8")
+            first = recv_msg(rfile)
+            if not first:
+                return
+            version = first.get("version", PROTOCOL_VERSION)
+            if version != PROTOCOL_VERSION:
+                send_msg(sock, {"ok": False,
+                                "error": f"protocol {version} != "
+                                         f"{PROTOCOL_VERSION}"})
+                return
+            if first.get("type") == "workers":
+                send_msg(sock, {"type": "workers", "ok": True,
+                                "workers": self.workers()})
+                return
+            if first.get("type") != "announce" or not first.get("address"):
+                send_msg(sock, {"ok": False,
+                                "error": "expected announce or workers"})
+                return
+            address = format_address(str(first["address"]))
+            with self._lock:
+                self._conn_seq += 1
+                token = self._conn_seq
+                self._alive[address] = time.monotonic()
+                self._owner[address] = token
+            self._say(f"worker {address} joined")
+            send_msg(sock, {"type": "registered", "ok": True})
+            while True:
+                message = recv_msg(rfile)  # heartbeats, until EOF
+                if message is None:
+                    return
+                with self._lock:
+                    # Unconditional: a worker pruned as stale (long GC
+                    # pause, VM suspend) re-registers itself with its
+                    # next heartbeat over the same connection, and
+                    # re-claims ownership from any lingering older
+                    # connection for its address.
+                    self._alive[address] = time.monotonic()
+                    self._owner[address] = token
+        except OSError:
+            pass
+        finally:
+            if address is not None:
+                with self._lock:
+                    # Only the current registrant deregisters on
+                    # disconnect; a stale duplicate connection dying
+                    # must not drop a live, heartbeating worker.
+                    if self._owner.get(address) == token:
+                        self._alive.pop(address, None)
+                        self._owner.pop(address, None)
+                        left = True
+                    else:
+                        left = False
+                if left:
+                    self._say(f"worker {address} left")
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def fetch_workers(
+    registry: Union[str, Tuple[str, int]],
+    timeout: float = 5.0,
+) -> List[str]:
+    """The registry's current live worker list (one-shot query).
+
+    Raises OSError when the registry is unreachable and RuntimeError
+    when it rejects the query -- callers decide whether that is fatal
+    (sweep start) or transient (mid-sweep poll).
+    """
+    sock = socket.create_connection(parse_address(registry), timeout=timeout)
+    with sock:
+        rfile = sock.makefile("r", encoding="utf-8")
+        send_msg(sock, {"type": "workers", "version": PROTOCOL_VERSION})
+        reply = recv_msg(rfile)
+    if not reply or not reply.get("ok"):
+        error = (reply or {}).get("error", "no reply")
+        raise RuntimeError(f"registry {format_address(registry)}: {error}")
+    return [str(w) for w in reply.get("workers", [])]
+
+
+class Announcer:
+    """A worker's registry client: announce once, heartbeat forever.
+
+    Runs on a daemon thread; survives registry restarts by reconnecting
+    with a capped backoff.  ``address`` is the worker's *dialable*
+    address as coordinators should see it (a worker bound to
+    ``0.0.0.0`` must announce a reachable host -- the worker CLI's
+    ``--announce`` override).
+    """
+
+    def __init__(
+        self,
+        registry: Union[str, Tuple[str, int]],
+        address: Union[str, Tuple[str, int]],
+        interval: float = HEARTBEAT_INTERVAL,
+    ) -> None:
+        self.registry = parse_address(registry)
+        self.address = format_address(address)
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"announce-{self.address}", daemon=True
+        )
+
+    def start(self) -> "Announcer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    def _loop(self) -> None:
+        backoff = min(self.interval, 0.5)
+        while not self._stop.is_set():
+            try:
+                sock = socket.create_connection(self.registry, timeout=5.0)
+            except OSError:
+                # Registry down or not yet up: retry, capped backoff.
+                if self._stop.wait(backoff):
+                    return
+                backoff = min(backoff * 2, 10.0)
+                continue
+            backoff = min(self.interval, 0.5)
+            try:
+                with sock:
+                    rfile = sock.makefile("r", encoding="utf-8")
+                    send_msg(sock, {
+                        "type": "announce",
+                        "version": PROTOCOL_VERSION,
+                        "address": self.address,
+                    })
+                    ack = recv_msg(rfile)
+                    if not ack or not ack.get("ok"):
+                        return  # version mismatch etc.: do not spin
+                    while not self._stop.wait(self.interval):
+                        send_msg(sock, {"type": "heartbeat"})
+                    return
+            except OSError:
+                continue  # connection lost: reconnect
+
+
+def run_registry(
+    listen: Union[str, Tuple[str, int]],
+    stale_after: float = STALE_AFTER,
+    out: TextIO = sys.stdout,
+) -> int:
+    """Entry point behind ``python -m repro registry``; blocks serving.
+
+    Prints ``registry: listening on HOST:PORT`` first (scripts parse
+    this line to learn the bound port when PORT was 0), then one line
+    per worker join/leave.
+    """
+    with Registry(listen, stale_after=stale_after, log=out) as registry:
+        registry.serve_forever()
+    return 0
