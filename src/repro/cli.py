@@ -10,7 +10,16 @@ Subcommands
     (``--jobs N`` worker processes, on-disk result cache) and write the
     per-run stats as JSON.  ``--backend`` picks the execution backend
     (``local`` process pool, ``thread`` pool, or ``distributed`` TCP
-    workers named by ``--workers HOST:PORT,...``).
+    workers named by ``--workers HOST:PORT,...``).  ``--scenario NAME``
+    adds phase-DSL scenarios (see ``docs/SCENARIOS.md``) to the grid
+    alongside (or instead of) Table I workloads.
+``trace``
+    Portable trace files (``.sbt``): ``gen`` synthesizes a scenario or
+    workload trace (several names build a multi-tenant colocation
+    trace), ``capture`` records the stream a live simulation consumes,
+    ``inspect`` prints a file's metadata and shape, and ``replay``
+    re-simulates a file bit-exactly -- on any execution backend,
+    through the same orchestrator/cache pipeline as ``sweep``.
 ``figures``
     Regenerate the paper's evaluation figures/tables through the shared
     orchestrator, one JSON file per figure.  The registered figure ids
@@ -62,8 +71,8 @@ import traceback
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.experiments import ablation, cost, design, migration_study, motivation
-from repro.experiments import overall, sensitivity
+from repro.experiments import ablation, colocation, cost, design, migration_study
+from repro.experiments import motivation, overall, sensitivity
 from repro.experiments.backends import (
     CellPolicy,
     DistributedBackend,
@@ -78,9 +87,24 @@ from repro.experiments.orchestrator import (
     sweep_product,
 )
 from repro.experiments.registry import run_registry
-from repro.experiments.runner import default_records
+from repro.experiments.runner import (
+    DEFAULT_SCALE,
+    build_config,
+    capture_workload,
+    default_records,
+)
 from repro.experiments.worker import run_worker
 from repro.figures.report import ReportBuilder
+from repro.scenarios import (
+    build_colocation,
+    canonical_scenario,
+    get_scenario,
+    inspect_tracefile,
+    read_meta,
+    scenario_names,
+    tenants_from_names,
+    write_tracefile,
+)
 from repro.variants import MAIN_VARIANTS, VARIANTS, canonical_variant
 from repro.workloads.suites import WORKLOAD_NAMES, canonical_workload
 
@@ -104,6 +128,7 @@ FIGURES: Dict[str, Callable] = {
     "fig22": sensitivity.fig22_flash_latency,
     "fig23": migration_study.fig23_migration_mechanisms,
     "table3": overall.table3_flash_read_latency,
+    "colocation": colocation.colocation_study,
     "cost": cost.cost_effectiveness,
     "prefetch-ablation": ablation.prefetch_ablation,
     "promotion-threshold": ablation.promotion_threshold_sweep,
@@ -295,8 +320,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     try:
-        workloads = [canonical_workload(w)
-                     for w in (_split_names(args.workloads) or WORKLOAD_NAMES)]
+        scenarios = [canonical_scenario(s)
+                     for s in (_split_names(args.scenario) or [])]
+        named = _split_names(args.workloads)
+        workloads = [canonical_workload(w) for w in (named or [])]
+        if not workloads and not scenarios:
+            workloads = list(WORKLOAD_NAMES)
+        workloads += scenarios
         variants = [canonical_variant(v)
                     for v in (_split_names(args.variants) or MAIN_VARIANTS)]
     except KeyError as exc:
@@ -575,6 +605,117 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_gen_meta(names: Sequence[str], args: argparse.Namespace,
+                    threads_per_tenant: int):
+    """Build (traces, meta) for ``trace gen``: one name is a solo trace,
+    several names become colocated tenants in disjoint partitions."""
+    records = args.records or default_records()
+    scale = args.scale or DEFAULT_SCALE
+    seed = args.seed if args.seed is not None else 42
+    if len(names) == 1:
+        scenario = get_scenario(names[0])
+        threads = threads_per_tenant
+        traces = scenario.generate(threads, records, scale=scale, seed=seed)
+        config = build_config(scale=scale, seed=seed, threads=threads)
+        meta = {
+            "kind": "scenario",
+            "workload": scenario.name,
+            "scenario": scenario.to_dict(),
+            "seed": seed,
+            "scale": scale,
+            "threads": threads,
+            "records_per_thread": records,
+            "mlp": scenario.mlp,
+            "config": config.to_dict(),
+        }
+        return traces, meta
+    tenants = tenants_from_names(names, threads=threads_per_tenant, seed=seed)
+    plan = build_colocation(tenants, scale=scale, records_per_thread=records)
+    config = build_config(scale=scale, seed=seed, threads=len(plan.traces))
+    meta = {"kind": "colocation",
+            "workload": "+".join(t.name for t in tenants),
+            "seed": seed,
+            "config": config.to_dict()}
+    meta.update(plan.meta())
+    return plan.traces, meta
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        if args.trace_cmd == "gen":
+            names = _split_names(args.names)
+            traces, meta = _trace_gen_meta(names, args, args.threads)
+            write_tracefile(args.output, traces, meta)
+            records = sum(len(t) for t in traces)
+            print(f"wrote {args.output}: {meta['workload']} "
+                  f"({len(traces)} thread(s), {records} record(s), "
+                  f"seed {meta['seed']})")
+            return 0
+        if args.trace_cmd == "inspect":
+            info = inspect_tracefile(args.file)
+            if args.json:
+                print(json.dumps(info, indent=2, sort_keys=True))
+                return 0
+            meta = info["meta"]
+            _print_kv({
+                "file": info["path"],
+                "bytes": info["file_bytes"],
+                "kind": meta.get("kind", "?"),
+                "workload": meta.get("workload", "?"),
+                "threads": info["threads"],
+                "records": info["records"],
+                "seed": meta.get("seed", "?"),
+                "scale": meta.get("scale", "?"),
+            }, indent="")
+            header = f"{'thread':>6}{'records':>10}{'writes':>9}{'pages':>8}"
+            print(header)
+            for tid, row in enumerate(info["per_thread"]):
+                print(f"{tid:>6}{row['records']:>10}"
+                      f"{row['write_ratio']:>9.3f}{row['pages']:>8}")
+            return 0
+        if args.trace_cmd == "capture":
+            options = {
+                "records_per_thread": args.records,
+                "threads": args.threads,
+                "scale": args.scale,
+                "seed": args.seed,
+            }
+            result = capture_workload(
+                args.workload, args.variant, args.output,
+                **{k: v for k, v in options.items() if v is not None},
+            )
+            print(f"captured {args.output} from live run "
+                  f"{result.workload}/{result.variant} "
+                  f"({result.threads} thread(s))")
+            _print_kv(result.stats.summary())
+            return 0
+        # replay: one SweepJob keyed on the file content, so any backend
+        # (and the result cache) can serve it like a normal sweep cell.
+        meta = read_meta(args.file)
+        variant = args.variant or meta.get("variant") or "Base-CSSD"
+        job = SweepJob.make(str(meta.get("workload") or "trace"), variant,
+                            trace=args.file)
+        backend = _backend_from_args(args)
+        result = run_sweep(
+            [job], jobs=args.jobs or 1, cache=_cache_from_args(args),
+            backend=backend, policy=_policy_from_args(args),
+        )[0]
+        print(f"replayed {args.file}: {result.workload} / {result.variant} "
+              f"({result.threads} thread(s))")
+        _print_kv(result.stats.summary())
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(result.to_dict(), indent=2, sort_keys=True)
+            )
+            print(f"wrote {args.json}")
+        return 0
+    except KeyError as exc:
+        return _bad_name(exc)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -599,6 +740,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--workloads", action="append", default=None,
                          help="comma-separated or repeated (default: all)")
+    p_sweep.add_argument("--scenario", action="append", default=None,
+                         metavar="NAME,...",
+                         help="phase-DSL scenarios to sweep alongside (or "
+                              "instead of) Table I workloads; see "
+                              "docs/SCENARIOS.md for the registry")
     p_sweep.add_argument("--variants", action="append", default=None,
                          help="comma-separated or repeated (default: Fig.14 set)")
     p_sweep.add_argument("--threads", type=int, default=None)
@@ -691,6 +837,63 @@ def build_parser() -> argparse.ArgumentParser:
                             help="drop a worker after this long without a "
                                  "heartbeat (default 6s)")
     p_registry.set_defaults(func=cmd_registry)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="generate, capture, inspect and replay portable .sbt traces",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_cmd", required=True)
+
+    p_gen = trace_sub.add_parser(
+        "gen",
+        help="synthesize a scenario/workload trace (several names build "
+             "a multi-tenant colocation trace)",
+    )
+    p_gen.add_argument("names", nargs="+",
+                       help=f"scenario or workload name(s); scenarios: "
+                            f"{', '.join(scenario_names())}")
+    p_gen.add_argument("--output", "-o", required=True, metavar="FILE.sbt")
+    p_gen.add_argument("--threads", type=int, default=2,
+                       help="threads (per tenant when colocating; default 2)")
+    p_gen.add_argument("--records", type=int, default=None,
+                       help="records per thread (default REPRO_RECORDS)")
+    p_gen.add_argument("--scale", type=int, default=None)
+    p_gen.add_argument("--seed", type=int, default=None)
+    p_gen.set_defaults(func=cmd_trace)
+
+    p_inspect = trace_sub.add_parser(
+        "inspect", help="print a tracefile's metadata and per-thread shape"
+    )
+    p_inspect.add_argument("file")
+    p_inspect.add_argument("--json", action="store_true",
+                           help="emit the full inspection as JSON")
+    p_inspect.set_defaults(func=cmd_trace)
+
+    p_capture = trace_sub.add_parser(
+        "capture",
+        help="run one simulation cell and capture the stream it consumes",
+    )
+    p_capture.add_argument("workload", help="workload or scenario name")
+    p_capture.add_argument("variant", help=f"one of {', '.join(VARIANTS)}")
+    p_capture.add_argument("--output", "-o", required=True, metavar="FILE.sbt")
+    p_capture.add_argument("--records", type=int, default=None)
+    p_capture.add_argument("--threads", type=int, default=None)
+    p_capture.add_argument("--scale", type=int, default=None)
+    p_capture.add_argument("--seed", type=int, default=None)
+    p_capture.set_defaults(func=cmd_trace)
+
+    p_replay = trace_sub.add_parser(
+        "replay",
+        help="re-simulate a tracefile bit-exactly (any backend, cached)",
+    )
+    p_replay.add_argument("file")
+    p_replay.add_argument("--variant", default=None,
+                          help="design variant (default: the file's, "
+                               "else Base-CSSD)")
+    p_replay.add_argument("--json", default=None,
+                          help="write the RunResult JSON here")
+    _add_common_run_options(p_replay)
+    p_replay.set_defaults(func=cmd_trace)
 
     p_cache = sub.add_parser(
         "cache", help="inspect, bound, or clear the result cache"

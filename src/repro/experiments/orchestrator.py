@@ -79,6 +79,8 @@ from repro.experiments.backends import (
     resolve_backend,
 )
 from repro.experiments.runner import DEFAULT_SCALE, RunResult, resolve_run, run_workload
+from repro.scenarios.library import find_scenario
+from repro.scenarios.tracefile import file_sha256
 from repro.variants import canonical_variant
 from repro.workloads.suites import canonical_workload
 
@@ -133,10 +135,24 @@ class SweepJob:
         if isinstance(overrides, dict):
             clean["ssd_overrides"] = tuple(sorted(overrides.items()))
         return cls(
-            workload=canonical_workload(workload),
+            workload=cls._canonical_name(workload, "trace" in clean),
             variant=canonical_variant(variant),
             params=tuple(sorted(clean.items())),
         )
+
+    @staticmethod
+    def _canonical_name(workload: str, is_trace: bool) -> str:
+        """Table I name, scenario registry name, or (for tracefile
+        replay cells, whose workload field is just a label) any name."""
+        try:
+            return canonical_workload(workload)
+        except KeyError:
+            scenario = find_scenario(workload)
+            if scenario is not None:
+                return scenario.name
+            if is_trace:
+                return workload
+            raise
 
     def kwargs(self) -> Dict[str, object]:
         """The run_workload keyword arguments this job encodes."""
@@ -164,6 +180,16 @@ class SweepJob:
             "max_ns": kw.get("max_ns"),
             "config": config.to_dict(),
         }
+        if kw.get("trace"):
+            # Replay cells key on the file *content*: a regenerated
+            # trace under the same path must not serve stale results.
+            payload["trace_sha256"] = file_sha256(str(kw["trace"]))
+        else:
+            scenario = find_scenario(self.workload)
+            if scenario is not None and scenario.name == self.workload:
+                # Scenario cells key on the full scenario definition, so
+                # editing a registered scenario invalidates its entries.
+                payload["scenario"] = scenario.to_dict()
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:40]
 

@@ -15,13 +15,16 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import SimConfig, scaled_config
+from repro.scenarios.library import find_scenario
+from repro.scenarios.tracefile import read_meta, read_tracefile, write_tracefile
 from repro.sim.stats import SimStats
 from repro.sim.system import System
 from repro.variants import DesignVariant, get_variant
-from repro.workloads.suites import get_model
+from repro.workloads.suites import canonical_workload, get_model
+from repro.workloads.trace import TraceRecord
 
 DEFAULT_SCALE = 512
 
@@ -125,6 +128,29 @@ def build_config(
     return config
 
 
+def _traces_for(
+    workload: str, threads: int, records: int, scale: int, seed: int
+) -> Tuple[List[List[TraceRecord]], int]:
+    """Per-thread traces and the workload's MLP, for a Table I name
+    (seed model) or a scenario name (phase DSL)."""
+    try:
+        name = canonical_workload(workload)
+    except KeyError:
+        scenario = find_scenario(workload)
+        if scenario is None:
+            from repro.scenarios.library import scenario_names
+            from repro.workloads.suites import TABLE_I
+
+            raise KeyError(
+                f"unknown workload or scenario {workload!r}; workloads: "
+                f"{sorted(TABLE_I)}; scenarios: {scenario_names()}"
+            ) from None
+        traces = scenario.generate(threads, records, scale=scale, seed=seed)
+        return traces, scenario.mlp
+    model = get_model(name, scale=scale, seed=seed)
+    return model.generate(threads, records), model.spec.mlp
+
+
 def resolve_run(
     workload: str,
     variant: str,
@@ -142,6 +168,7 @@ def resolve_run(
     warmup_fraction: float = 0.1,
     max_ns: Optional[float] = None,
     ssd_overrides: Optional[Dict[str, object]] = None,
+    trace: Optional[str] = None,
 ) -> Tuple[SimConfig, int]:
     """Resolve the exact ``(config, records_per_thread)`` a
     :func:`run_workload` call with these arguments would simulate.
@@ -151,8 +178,22 @@ def resolve_run(
     REPRO_RECORDS, capacity ratios), never the raw argument spelling.
     ``max_ns`` is accepted (so a job's kwargs can be splatted directly)
     but does not influence the config.
+
+    ``trace`` replays a ``.sbt`` tracefile: the configuration embedded at
+    capture/generation time is authoritative (so replay is bit-exact) and
+    the other configuration arguments are ignored.
     """
     del max_ns  # part of the run, not of the config
+    if trace is not None:
+        meta = read_meta(trace)
+        if "config" not in meta:
+            raise ValueError(
+                f"tracefile {trace!r} has no embedded config; it was not "
+                f"written by 'repro trace gen/capture' and cannot be "
+                f"replayed as a sweep cell"
+            )
+        config = SimConfig.from_dict(meta["config"])
+        return config, int(meta.get("records_per_thread") or 0)
     design: DesignVariant = get_variant(variant)
     if records_per_thread is None:
         records_per_thread = default_records()
@@ -190,8 +231,16 @@ def run_workload(
     warmup_fraction: float = 0.1,
     max_ns: Optional[float] = None,
     ssd_overrides: Optional[Dict[str, object]] = None,
+    trace: Optional[str] = None,
 ) -> RunResult:
-    """Simulate one (workload, design) pair and return its stats."""
+    """Simulate one (workload, design) pair and return its stats.
+
+    ``workload`` names a Table I application or a registered scenario
+    (see :mod:`repro.scenarios.library`).  ``trace`` replays a ``.sbt``
+    tracefile instead of generating traces: the file's embedded config,
+    thread count and MLP are used, making replay bit-exact on every
+    backend.
+    """
     design: DesignVariant = get_variant(variant)
     config, records_per_thread = resolve_run(
         workload,
@@ -208,15 +257,68 @@ def run_workload(
         host_budget_bytes=host_budget_bytes,
         warmup_fraction=warmup_fraction,
         ssd_overrides=ssd_overrides,
+        trace=trace,
     )
-    model = get_model(workload, scale=scale, seed=seed)
-    traces = model.generate(config.threads, records_per_thread)
-    system = System(config, traces, design, workload_mlp=model.spec.mlp)
+    if trace is not None:
+        meta, traces = read_tracefile(trace)
+        mlp = int(meta.get("mlp") or 8)
+    else:
+        traces, mlp = _traces_for(
+            workload, config.threads, records_per_thread, scale, seed
+        )
+    system = System(config, traces, design, workload_mlp=mlp)
     stats = system.run(max_ns=max_ns)
     return RunResult(
         workload=workload,
         variant=variant,
-        threads=config.threads,
+        threads=len(traces),
+        stats=stats,
+        config=system.config,
+    )
+
+
+def capture_workload(
+    workload: str,
+    variant: str,
+    out_path: str,
+    **kwargs: object,
+) -> RunResult:
+    """Run one cell while capturing the consumed trace to ``out_path``.
+
+    The capture tap sits on the live simulation's thread contexts (each
+    record is recorded the first time a core fetches it), and the
+    tracefile embeds the resolved config, so ``repro trace replay`` on
+    the file reproduces this run's stats bit-exactly.
+    """
+    design: DesignVariant = get_variant(variant)
+    max_ns = kwargs.pop("max_ns", None)
+    config, records_per_thread = resolve_run(workload, variant, **kwargs)
+    scale = int(kwargs.get("scale", DEFAULT_SCALE))
+    seed = int(kwargs.get("seed", 42))
+    traces, mlp = _traces_for(
+        workload, config.threads, records_per_thread, scale, seed
+    )
+    system = System(config, traces, design, workload_mlp=mlp)
+    captured: List[List[TraceRecord]] = [[] for _ in traces]
+    for thread in system.threads:
+        thread.on_fetch = captured[thread.tid].append
+    stats = system.run(max_ns=max_ns)
+    meta = {
+        "kind": "capture",
+        "workload": workload,
+        "variant": variant,
+        "seed": seed,
+        "scale": scale,
+        "threads": len(traces),
+        "records_per_thread": records_per_thread,
+        "mlp": mlp,
+        "config": config.to_dict(),
+    }
+    write_tracefile(out_path, captured, meta)
+    return RunResult(
+        workload=workload,
+        variant=variant,
+        threads=len(traces),
         stats=stats,
         config=system.config,
     )

@@ -18,12 +18,19 @@ Outputs, all under one directory:
 * ``REPORT.html`` -- the same content as a standalone page with every
   SVG inlined (the single-file artifact CI uploads);
 * ``<figure>.svg`` (or ``<figure>_N.svg`` for faceted figures) -- the
-  charts themselves, written as each figure finishes.
+  charts themselves, written as each figure finishes;
+* ``BENCH_fidelity.json`` -- the fidelity table in machine-readable
+  form: per figure a score in [0, 1] (pass=1, warn=0.5, off=0,
+  averaged over its expectations), its wall time, and the raw rows,
+  plus overall aggregates -- so CI can diff fidelity across commits
+  instead of eyeballing the rendered table.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -83,15 +90,24 @@ class ReportBuilder:
         self.cells_run = 0
         self.cells_cached = 0
         self._current: Optional[str] = None
+        self.figure_wall_s: Dict[str, float] = {}
+        self._figure_t0: Dict[str, float] = {}
 
     # -- lifecycle hooks ---------------------------------------------------
 
     def figure_started(self, figure: str) -> None:
         self.state[figure] = "running"
         self._current = figure
+        self._figure_t0[figure] = time.monotonic()
         self.render()
 
+    def _record_wall(self, figure: str) -> None:
+        started = self._figure_t0.pop(figure, None)
+        if started is not None:
+            self.figure_wall_s[figure] = time.monotonic() - started
+
     def figure_finished(self, figure: str, data: object) -> None:
+        self._record_wall(figure)
         charts = shape_figure(figure, data)
         files: List[Tuple[str, str]] = []
         for i, chart in enumerate(charts):
@@ -108,6 +124,7 @@ class ReportBuilder:
         self.render()
 
     def figure_failed(self, figure: str, error: str) -> None:
+        self._record_wall(figure)
         self.state[figure] = "failed"
         self.errors[figure] = error
         if self._current == figure:
@@ -259,7 +276,55 @@ class ReportBuilder:
         parts.append("</body></html>")
         return "\n".join(parts) + "\n"
 
+    # -- machine-readable fidelity benchmark -------------------------------
+
+    _STATUS_SCORE = {"pass": 1.0, "warn": 0.5, "off": 0.0}
+
+    def bench(self) -> Dict[str, object]:
+        """The ``BENCH_fidelity.json`` payload: per-figure fidelity score
+        (pass=1, warn=0.5, off=0, averaged over scored expectations;
+        null when the figure has none or has not finished) and wall
+        time, plus overall aggregates -- what CI diffs across commits."""
+        figures: Dict[str, object] = {}
+        status_counts = {"pass": 0, "warn": 0, "off": 0, "n/a": 0}
+        scores: List[float] = []
+        for figure in self.figures:
+            rows = self.fidelity.get(figure, [])
+            scored = [self._STATUS_SCORE[r.status] for r in rows
+                      if r.status in self._STATUS_SCORE]
+            for r in rows:
+                if r.status in status_counts:
+                    status_counts[r.status] += 1
+            score = sum(scored) / len(scored) if scored else None
+            if score is not None:
+                scores.append(score)
+            figures[figure] = {
+                "state": self.state[figure],
+                "score": score,
+                "wall_s": self.figure_wall_s.get(figure),
+                "expectations": [
+                    {"metric": r.metric, "paper": r.paper,
+                     "reproduced": r.reproduced, "delta": r.delta,
+                     "status": r.status}
+                    for r in rows
+                ],
+            }
+        return {
+            "figures": figures,
+            "overall": {
+                "score": sum(scores) / len(scores) if scores else None,
+                "wall_s": sum(self.figure_wall_s.values()),
+                "cells_run": self.cells_run,
+                "cells_cached": self.cells_cached,
+                "statuses": status_counts,
+                "complete": self.complete,
+            },
+        }
+
     def render(self) -> None:
-        """Rewrite REPORT.md and REPORT.html atomically."""
+        """Rewrite REPORT.md, REPORT.html and BENCH_fidelity.json
+        atomically."""
         _atomic_write(self.out_dir / "REPORT.md", self.markdown())
         _atomic_write(self.out_dir / "REPORT.html", self.html())
+        _atomic_write(self.out_dir / "BENCH_fidelity.json",
+                      json.dumps(self.bench(), indent=2, sort_keys=True) + "\n")

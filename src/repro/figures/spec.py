@@ -77,6 +77,16 @@ def _bar(title: str, rows: Dict[str, Dict[str, float]], y_label: str,
                  series=series, y_label=y_label, subtitle=subtitle)
 
 
+def _stacked(title: str, rows: Dict[str, Dict[str, float]], y_label: str,
+             subtitle: str = "", series_order: Sequence[str] = ()) -> Chart:
+    """A stacked bar chart from ``{category: {segment: value}}`` rows."""
+    chart = _bar(title, rows, y_label, subtitle=subtitle,
+                 series_order=series_order)
+    return Chart(title=chart.title, kind="stacked",
+                 categories=chart.categories, series=chart.series,
+                 y_label=chart.y_label, subtitle=chart.subtitle)
+
+
 def _single_bar(title: str, values: Dict[str, float], label: str,
                 y_label: str, subtitle: str = "") -> Chart:
     return Chart(
@@ -197,19 +207,31 @@ def _shape_fig15(data) -> List[Chart]:
 
 
 def _shape_fig16(data) -> List[Chart]:
-    return [_bar(
+    return [_stacked(
         "Fig. 16: request class breakdown under SkyByte-Full",
         data, "fraction of requests",
+        subtitle="stacked per workload: H-R/W + S-R-H + S-R-M + S-W = 1",
     )]
+
+
+#: Fig. 17's stack order (SimStats.amat_breakdown keys, host outward).
+AMAT_COMPONENTS = ("Host DRAM", "CXL Protocol", "Indexing", "SSD DRAM",
+                   "Flash")
 
 
 def _shape_fig17(data) -> List[Chart]:
-    return [_bar(
-        "Fig. 17: average memory access time per design",
-        {wl: {variant: row[variant]["amat_ns"] for variant in row}
-         for wl, row in data.items()},
-        "AMAT (ns)",
-    )]
+    """One stacked chart per workload: AMAT decomposed into its
+    components per design, the paper's Fig. 17 encoding."""
+    charts = []
+    for wl, by_variant in data.items():
+        charts.append(_stacked(
+            f"Fig. 17 ({wl}): AMAT decomposition per design",
+            {variant: {c: row.get(c, 0.0) for c in AMAT_COMPONENTS}
+             for variant, row in by_variant.items()},
+            "AMAT (ns)",
+            series_order=AMAT_COMPONENTS,
+        ))
+    return charts
 
 
 def _shape_fig18(data) -> List[Chart]:
@@ -320,6 +342,34 @@ def _shape_cost(data) -> List[Chart]:
     )]
 
 
+def _shape_colocation(data) -> List[Chart]:
+    tenants = data["tenants"]
+    subtitle = (f"{len(tenants)} tenant(s) sharing one device, "
+                f"variant {data.get('variant', '?')}")
+    slowdown = _single_bar(
+        "Colocation: per-tenant slowdown",
+        {name: row["slowdown"] for name, row in tenants.items()},
+        "slowdown",
+        "colocated / solo time-per-instruction (1.0 = no interference)",
+        subtitle=subtitle,
+    )
+    requests = _stacked(
+        "Colocation: per-tenant request breakdown",
+        {name: row["requests"] for name, row in tenants.items()},
+        "fraction of requests",
+        subtitle="request classes served to each tenant while colocated",
+    )
+    amat = _stacked(
+        "Colocation: per-tenant AMAT decomposition",
+        {name: {c: row["amat"].get(c, 0.0) for c in AMAT_COMPONENTS}
+         for name, row in tenants.items()},
+        "AMAT (ns)",
+        subtitle="where each tenant's memory time goes while colocated",
+        series_order=AMAT_COMPONENTS,
+    )
+    return [slowdown, requests, amat]
+
+
 def _shape_prefetch(data) -> List[Chart]:
     return [_single_bar(
         "Ablation: baseline sequential prefetch gain",
@@ -409,13 +459,15 @@ SPECS: Dict[str, ChartSpec] = {
                   _ALL_WORKLOADS, "SkyByte-Full at 8..48 threads",
                   "Throughput and SSD bandwidth vs thread count, "
                   "normalized to SkyByte-WP at 8 threads.", _shape_fig15),
-        ChartSpec("fig16", "Request breakdown", "SS VI-C", "bar",
+        ChartSpec("fig16", "Request breakdown", "SS VI-C", "stacked",
                   _ALL_WORKLOADS, "SkyByte-Full",
-                  "Fractions of H-R/W, S-R-H, S-R-M and S-W requests.",
-                  _shape_fig16),
-        ChartSpec("fig17", "AMAT decomposition", "SS VI-C", "bar",
+                  "Fractions of H-R/W, S-R-H, S-R-M and S-W requests, "
+                  "stacked per workload.", _shape_fig16),
+        ChartSpec("fig17", "AMAT decomposition", "SS VI-C", "stacked",
                   _ALL_WORKLOADS, "six designs Base-CSSD..DRAM-Only",
-                  "Average memory access time per design.", _shape_fig17),
+                  "Average memory access time stacked into its "
+                  "host-DRAM/protocol/indexing/SSD-DRAM/flash components "
+                  "(one chart per workload).", _shape_fig17),
         ChartSpec("fig18", "Flash write traffic", "SS VI-D", "bar",
                   _ALL_WORKLOADS, "the Fig. 14 designs except DRAM-Only",
                   "Flash writes per instruction normalized to Base-CSSD.",
@@ -444,6 +496,13 @@ SPECS: Dict[str, ChartSpec] = {
                   _ALL_WORKLOADS, "SkyByte-WP",
                   "Average flash read latency in us (paper: 3.3-25.7 us).",
                   _shape_table3),
+        ChartSpec("colocation", "Multi-tenant colocation", "repro SCENARIOS",
+                  "bar", "the configured tenant mix (default: web-tier + "
+                  "log-ingest)", "one design variant (default SkyByte-Full)",
+                  "Per-tenant slowdown vs solo runs, plus stacked "
+                  "request-class and AMAT breakdowns, when N scenario "
+                  "tenants share one device (see docs/SCENARIOS.md).",
+                  _shape_colocation),
         ChartSpec("cost", "Cost-effectiveness", "SS VI-B", "bar",
                   _ALL_WORKLOADS, "DRAM-Only vs SkyByte-Full",
                   "Performance fraction and $-ratio arithmetic "

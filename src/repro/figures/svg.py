@@ -8,10 +8,14 @@ formatted with fixed precision, ticks are computed arithmetically, and
 no timestamps or random ids are emitted), which lets the test suite pin
 golden snapshots exactly like the simulator's golden fidelity pins.
 
-Two mark types cover the paper's evaluation:
+Three mark types cover the paper's evaluation:
 
 * ``bar`` -- grouped vertical bars (categories on x, one bar per
   series), rounded at the data end and anchored to the zero baseline;
+* ``stacked`` -- stacked vertical bars (one column per category, series
+  segments stacked bottom-up in palette order) for component
+  decompositions: the Fig. 16 request-class and Fig. 17 AMAT breakdowns
+  and the colocation per-tenant figures.  Values must be non-negative;
 * ``line`` -- polylines over numeric x (optionally log-scaled, for the
   latency CDFs), with point markers when the series is sparse.
 
@@ -79,28 +83,35 @@ class Chart:
     """A renderable chart: marks plus every label the reader needs."""
 
     title: str
-    kind: str  # "bar" | "line"
+    kind: str  # "bar" | "stacked" | "line"
     series: Tuple[Series, ...]
-    categories: Tuple[str, ...] = ()  # bar charts only
+    categories: Tuple[str, ...] = ()  # bar/stacked charts only
     x_label: str = ""
     y_label: str = ""
     log_x: bool = False
     subtitle: str = ""
 
     def validate(self) -> None:
-        if self.kind not in ("bar", "line"):
+        if self.kind not in ("bar", "stacked", "line"):
             raise ValueError(f"unknown chart kind {self.kind!r}")
         if len(self.series) > MAX_SERIES:
             raise ValueError(
                 f"{len(self.series)} series exceeds the {MAX_SERIES}-color "
                 f"palette; split {self.title!r} into small multiples"
             )
-        if self.kind == "bar":
+        if self.kind in ("bar", "stacked"):
             for s in self.series:
                 if len(s.values) != len(self.categories):
                     raise ValueError(
                         f"series {s.label!r} has {len(s.values)} values for "
                         f"{len(self.categories)} categories"
+                    )
+        if self.kind == "stacked":
+            for s in self.series:
+                if any(v is not None and v < 0 for v in s.values):
+                    raise ValueError(
+                        f"stacked series {s.label!r} has negative values; "
+                        f"segments cannot stack below the baseline"
                     )
 
 
@@ -328,14 +339,56 @@ def _render_bars(chart: Chart) -> str:
                 f'<path d="{_bar_path(x, py, bar_w - gap, height, 3.0)}"'
                 f' fill="{PALETTE[si]}"/>'
             )
-        label = category
-        rotate = None
-        anchor = "middle"
-        if n_cat > 6 or max(len(c) for c in chart.categories) > 8:
-            rotate = -30.0
-            anchor = "end"
-        canvas.text(gx + group_w / 2, canvas.bottom + 14, label, size=10,
-                    anchor=anchor, rotate=rotate)
+        _category_label(canvas, chart, gx, group_w, category)
+    canvas.x_axis_line()
+    canvas.x_title()
+    return canvas.render()
+
+
+def _category_label(canvas: _Canvas, chart: Chart, gx: float, width: float,
+                    category: str) -> None:
+    """One x-axis category label, rotated when the row gets crowded."""
+    rotate = None
+    anchor = "middle"
+    if len(chart.categories) > 6 or max(len(c) for c in chart.categories) > 8:
+        rotate = -30.0
+        anchor = "end"
+    canvas.text(gx + width / 2, canvas.bottom + 14, category, size=10,
+                anchor=anchor, rotate=rotate)
+
+
+def _render_stacked(chart: Chart) -> str:
+    """Stacked bars: one column per category, segments bottom-up in
+    series order (series i keeps palette slot i, exactly as in the
+    legend)."""
+    canvas = _Canvas(chart)
+    canvas.chrome()
+    totals = [
+        sum(s.values[ci] or 0.0 for s in chart.series)
+        for ci in range(len(chart.categories))
+    ]
+    hi = max(totals, default=1.0)
+    lo, hi = canvas.y_axis(0.0, hi * 1.05 if hi > 0 else 1.0)
+    span = max(hi - lo, 1e-12)
+    n_cat = max(1, len(chart.categories))
+    slot = (canvas.right - canvas.left) / n_cat
+    bar_w = slot * 0.6
+    scale = (canvas.bottom - canvas.top) / span
+    for ci, category in enumerate(chart.categories):
+        x = canvas.left + slot * ci + (slot - bar_w) / 2
+        base = canvas.bottom - (0.0 - lo) * scale
+        for si, series in enumerate(chart.series):
+            value = series.values[ci]
+            if not value:  # None and zero segments draw nothing
+                continue
+            height = value * scale
+            top = base - height
+            canvas.add(
+                f'<rect x="{_fmt(x)}" y="{_fmt(top)}" width="{_fmt(bar_w)}"'
+                f' height="{_fmt(height)}" fill="{PALETTE[si]}"/>'
+            )
+            base = top
+        _category_label(canvas, chart, x, bar_w, category)
     canvas.x_axis_line()
     canvas.x_title()
     return canvas.render()
@@ -418,4 +471,6 @@ def render_chart(chart: Chart) -> str:
     chart.validate()
     if chart.kind == "bar":
         return _render_bars(chart)
+    if chart.kind == "stacked":
+        return _render_stacked(chart)
     return _render_lines(chart)

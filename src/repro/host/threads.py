@@ -42,6 +42,11 @@ class ThreadContext:
         #: its first window replays the squashed access, and an immediate
         #: re-switch on the same access would ping-pong.
         self.just_resumed = False
+        #: Trace-capture tap: called once per record the *first* time it
+        #: is fetched from the trace (replays and pushbacks are not
+        #: re-reported), so a capture sees exactly the consumed stream in
+        #: order.  ``python -m repro trace capture`` installs this.
+        self.on_fetch: Optional[callable] = None
 
     @property
     def done(self) -> bool:
@@ -66,6 +71,8 @@ class ThreadContext:
         if self.pos < len(self.trace):
             record = self.trace[self.pos]
             self.pos += 1
+            if self.on_fetch is not None:
+                self.on_fetch(record)
             return record
         return None
 

@@ -1,0 +1,72 @@
+"""Workload synthesis: phase DSL, named scenarios, portable trace files,
+and multi-tenant colocation plans.
+
+See ``docs/SCENARIOS.md`` for the DSL reference, the ``.sbt`` trace
+format specification, and the colocation guide.
+"""
+
+from repro.scenarios.colocate import (
+    ColocationPlan,
+    Tenant,
+    build_colocation,
+    tenants_from_names,
+)
+from repro.scenarios.library import (
+    SCENARIOS,
+    canonical_scenario,
+    find_scenario,
+    get_scenario,
+    scenario_for_workload,
+    scenario_names,
+)
+from repro.scenarios.phases import (
+    BurstyWritePhase,
+    DriftPhase,
+    Phase,
+    PhaseContext,
+    PointerChasePhase,
+    ScanPhase,
+    Scenario,
+    TableIPhase,
+    ZipfPhase,
+    phase_from_dict,
+)
+from repro.scenarios.tracefile import (
+    TraceFileReader,
+    TraceFileWriter,
+    file_sha256,
+    inspect_tracefile,
+    read_meta,
+    read_tracefile,
+    write_tracefile,
+)
+
+__all__ = [
+    "BurstyWritePhase",
+    "ColocationPlan",
+    "DriftPhase",
+    "Phase",
+    "PhaseContext",
+    "PointerChasePhase",
+    "SCENARIOS",
+    "ScanPhase",
+    "Scenario",
+    "TableIPhase",
+    "Tenant",
+    "TraceFileReader",
+    "TraceFileWriter",
+    "ZipfPhase",
+    "build_colocation",
+    "canonical_scenario",
+    "file_sha256",
+    "find_scenario",
+    "get_scenario",
+    "inspect_tracefile",
+    "phase_from_dict",
+    "read_meta",
+    "read_tracefile",
+    "scenario_for_workload",
+    "scenario_names",
+    "tenants_from_names",
+    "write_tracefile",
+]

@@ -1,0 +1,162 @@
+"""Named scenario registry: composable workloads the CLI can sweep.
+
+Two families live here:
+
+* **Composite scenarios** -- tenant mixes built from the phase
+  primitives (``web-tier``, ``analytics-scan``, ``graph-walk``,
+  ``log-ingest``).  These open workload space beyond Table I: any
+  sweep, figure or colocation study can name them exactly like a paper
+  workload (``python -m repro sweep --scenario web-tier``).
+* **Table I instances** -- every paper workload re-expressed as a
+  one-phase scenario (``tab1-bc`` ... ``tab1-ycsb``).  They generate
+  **bit-identical** traces to the seed models (golden-pinned), proving
+  the DSL subsumes the hand-coded specs.
+
+Names are resolved case-insensitively and accept an optional
+``scenario:`` prefix; bare Table I workload names also resolve (to
+their DSL instance) so colocation tenants can mix paper workloads with
+composites freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import GB
+from repro.scenarios.phases import (
+    BurstyWritePhase,
+    DriftPhase,
+    PointerChasePhase,
+    ScanPhase,
+    Scenario,
+    TableIPhase,
+    ZipfPhase,
+)
+from repro.workloads.suites import TABLE_I, WORKLOAD_ALIASES
+
+#: Prefix accepted (and stripped) anywhere a scenario is named.
+SCENARIO_PREFIX = "scenario:"
+
+
+def scenario_for_workload(name: str) -> Scenario:
+    """The Table I workload ``name`` as a single-phase DSL scenario.
+
+    Generates traces bit-identical to
+    :class:`~repro.workloads.models.WorkloadModel` for the same
+    ``(scale, seed, threads, records)`` -- the golden suite pins this.
+    """
+    spec = TABLE_I[name]
+    return Scenario(
+        name=f"tab1-{name}",
+        footprint_bytes=spec.footprint_bytes,
+        phases=(TableIPhase(workload=name),),
+        mlp=spec.mlp,
+        description=f"Table I workload {name} ({spec.suite}) via the phase DSL",
+    )
+
+
+def _builtin_scenarios() -> Dict[str, Scenario]:
+    scenarios = {
+        # A front-end cache + database tier: skewed point reads with a
+        # churning session working set.
+        "web-tier": Scenario(
+            name="web-tier",
+            footprint_bytes=int(8 * GB),
+            phases=(
+                ZipfPhase(alpha=1.3, write_ratio=0.06, mpki=60.0,
+                          burst_mean=4.0, weight=0.7),
+                DriftPhase(alpha=1.1, write_ratio=0.25, mpki=30.0,
+                           window_fraction=0.1, weight=0.3),
+            ),
+            mlp=2,
+            description="Zipf point reads over a drifting session set",
+        ),
+        # Column scans with a bursty result spool.
+        "analytics-scan": Scenario(
+            name="analytics-scan",
+            footprint_bytes=int(12 * GB),
+            phases=(
+                ScanPhase(write_ratio=0.02, mpki=10.0, lines_per_page=32,
+                          weight=0.8),
+                BurstyWritePhase(burst_lines=48, idle_gap_mean=3000.0,
+                                 weight=0.2),
+            ),
+            mlp=8,
+            partitioned=True,
+            description="partitioned column sweeps spooling bursty results",
+        ),
+        # Graph traversal: dependent chase with skewed frontier updates.
+        "graph-walk": Scenario(
+            name="graph-walk",
+            footprint_bytes=int(9 * GB),
+            phases=(
+                PointerChasePhase(write_ratio=0.04, mpki=80.0, weight=0.75),
+                ZipfPhase(alpha=1.4, write_ratio=0.5, mpki=20.0,
+                          burst_mean=2.0, weight=0.25),
+            ),
+            mlp=2,
+            description="pointer chase plus hot frontier/rank updates",
+        ),
+        # Ingest pipeline: an append-heavy WAL with index point lookups.
+        "log-ingest": Scenario(
+            name="log-ingest",
+            footprint_bytes=int(6 * GB),
+            phases=(
+                BurstyWritePhase(burst_lines=64, idle_gap_mean=1500.0,
+                                 inner_gap_mean=8.0, weight=0.6),
+                ZipfPhase(alpha=1.2, write_ratio=0.1, mpki=25.0,
+                          burst_mean=3.0, weight=0.4),
+            ),
+            mlp=4,
+            description="append bursts into a log region + index lookups",
+        ),
+    }
+    for workload in TABLE_I:
+        instance = scenario_for_workload(workload)
+        scenarios[instance.name] = instance
+    return scenarios
+
+
+#: Registry of named scenarios (composites + ``tab1-*`` instances).
+SCENARIOS: Dict[str, Scenario] = _builtin_scenarios()
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def find_scenario(name: str) -> Optional[Scenario]:
+    """The scenario ``name`` refers to, or None.
+
+    Accepts registry names, the ``scenario:`` prefix, and bare Table I
+    workload names/aliases (resolved to their ``tab1-*`` DSL instance).
+    """
+    key = name.lower()
+    if key.startswith(SCENARIO_PREFIX):
+        key = key[len(SCENARIO_PREFIX):]
+    if key in SCENARIOS:
+        return SCENARIOS[key]
+    table = WORKLOAD_ALIASES.get(key, key)
+    if table in TABLE_I:
+        return SCENARIOS[f"tab1-{table}"]
+    return None
+
+
+def canonical_scenario(name: str) -> str:
+    """Map a scenario name (any accepted spelling) to its registry key."""
+    scenario = find_scenario(name)
+    if scenario is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    return scenario.name
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (raises KeyError like get_spec)."""
+    scenario = find_scenario(name)
+    if scenario is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    return scenario

@@ -1,0 +1,496 @@
+"""Composable workload synthesis: typed phase primitives and scenarios.
+
+The seven Table I applications are *fixed points* in a much larger space
+of memory behaviours a CXL-SSD must serve.  This module provides the
+vocabulary for the rest of that space: a scenario is an ordered,
+weighted composition of **phase primitives** --
+
+* :class:`ZipfPhase` -- skewed point accesses (databases, KV stores);
+* :class:`ScanPhase` -- sequential sweeps (analytics, stencils);
+* :class:`PointerChasePhase` -- dependent random walks (graphs, trees);
+* :class:`BurstyWritePhase` -- append bursts into a log region
+  (ingest pipelines, WALs);
+* :class:`DriftPhase` -- Zipf accesses over a working-set window that
+  slides through the footprint (diurnal churn, LRU-hostile tenants);
+* :class:`TableIPhase` -- one of the seven paper workloads, verbatim.
+
+Every primitive draws from a seeded :mod:`numpy` generator derived from
+``(scenario seed, thread id, phase index)``, so a scenario is exactly as
+deterministic as the Table I models: same spec + seed -> byte-identical
+traces on every host and backend.  The seven Table I models are
+themselves scenario instances (a single :class:`TableIPhase` delegating
+to :class:`~repro.workloads.models.WorkloadModel`), pinned
+golden-identical to the seed models in ``tests/golden/``.
+
+Scenarios serialize to plain JSON (:meth:`Scenario.to_dict` /
+:meth:`Scenario.from_dict`), which is how trace files record their
+provenance and how the sweep cache keys scenario cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Tuple, Type
+
+import numpy as np
+
+from repro.config import CACHELINE_SIZE, CACHELINES_PER_PAGE, PAGE_SIZE
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class PhaseContext:
+    """Everything a phase needs to know about where it is generating.
+
+    ``base_page``/``pages`` describe this thread's page domain (the
+    whole scenario footprint, or its slice of it when the scenario is
+    partitioned); addresses the phase emits must stay inside it.
+    """
+
+    base_page: int
+    pages: int
+    scale: int
+    seed: int
+    tid: int
+    threads: int
+
+
+class Phase:
+    """Base class for phase primitives.
+
+    Subclasses are frozen dataclasses with a ``kind`` class attribute
+    (the serialization tag) and a ``weight`` field (its share of the
+    scenario's records).  ``generate`` must be deterministic given
+    ``(ctx, rng)`` and return ``records`` trace records (the synthesis
+    primitives are exact; :class:`TableIPhase` inherits the seed
+    models' best-effort count, which can land a few records short).
+    """
+
+    kind: str = ""
+    weight: float = 1.0
+
+    def generate(
+        self, ctx: PhaseContext, rng: np.random.Generator, records: int
+    ) -> List[TraceRecord]:
+        raise NotImplementedError
+
+    # -- serialization (shared by every primitive) -------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"kind": self.kind}
+        for f in fields(self):  # type: ignore[arg-type]
+            data[f.name] = getattr(self, f.name)
+        return data
+
+
+def _addr(page: int, line: int) -> int:
+    return page * PAGE_SIZE + line * CACHELINE_SIZE
+
+
+def _gaps(rng: np.random.Generator, mpki: float, n: int) -> np.ndarray:
+    """Exponential compute gaps with the Table I models' MPKI rule."""
+    gap_mean = max(1.0, 1000.0 / max(mpki, 1e-6))
+    return rng.exponential(gap_mean, size=n).astype(np.int64)
+
+
+def _zipf_sampler(rng: np.random.Generator, alpha: float, pages: int):
+    """A ``sample(n)`` closure drawing Zipf(alpha)-popular page indices
+    in ``[0, pages)``.  The rank->page permutation is drawn **once** (hot
+    pages keep their identity across batches, scattered through the
+    domain as in the Table I models); each call consumes fresh draws
+    from ``rng``, so repeated sampling stays deterministic."""
+    ranks = np.arange(1, pages + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cdf = np.cumsum(weights) / weights.sum()
+    perm = rng.permutation(pages)
+
+    def sample(n: int) -> np.ndarray:
+        draws = rng.random(n)
+        ranked = np.searchsorted(cdf, draws, side="left")
+        return perm[np.minimum(ranked, pages - 1)]
+
+    return sample
+
+
+def _bursts(rng: np.random.Generator, mean_burst: float, n: int) -> np.ndarray:
+    bursts = rng.geometric(min(1.0, 1.0 / mean_burst), size=n)
+    return np.clip(bursts, 1, CACHELINES_PER_PAGE)
+
+
+@dataclass(frozen=True)
+class ZipfPhase(Phase):
+    """Skewed point accesses: Zipf page choice, geometric line bursts."""
+
+    kind = "zipf"
+    alpha: float = 1.2
+    write_ratio: float = 0.1
+    mpki: float = 30.0
+    burst_mean: float = 4.0
+    in_page_sequential: bool = False
+    weight: float = 1.0
+
+    def generate(
+        self, ctx: PhaseContext, rng: np.random.Generator, records: int
+    ) -> List[TraceRecord]:
+        out: List[TraceRecord] = []
+        if records <= 0:
+            return out
+        mean_burst = max(1.0, self.burst_mean)
+        sample = _zipf_sampler(rng, self.alpha, ctx.pages)
+        gaps = _gaps(rng, self.mpki, records)
+        # Outer loop refills visit batches until the exact count is met
+        # (a fixed visit estimate can undershoot when bursts run long).
+        while len(out) < records:
+            batch = max(1, int((records - len(out)) / mean_burst) + 8)
+            bursts = _bursts(rng, mean_burst, batch)
+            pages = sample(batch)
+            for v in range(batch):
+                if len(out) >= records:
+                    break
+                page = ctx.base_page + int(pages[v])
+                burst = int(bursts[v])
+                if self.in_page_sequential:
+                    start = int(rng.integers(0, CACHELINES_PER_PAGE))
+                    lines = [(start + i) % CACHELINES_PER_PAGE
+                             for i in range(burst)]
+                else:
+                    lines = rng.choice(
+                        CACHELINES_PER_PAGE,
+                        size=min(burst, CACHELINES_PER_PAGE),
+                        replace=False,
+                    ).tolist()
+                writes = rng.random(len(lines)) < self.write_ratio
+                for i, line in enumerate(lines):
+                    out.append((int(gaps[len(out)]), bool(writes[i]),
+                                _addr(page, int(line))))
+                    if len(out) >= records:
+                        break
+        return out
+
+
+@dataclass(frozen=True)
+class ScanPhase(Phase):
+    """Sequential sweep: consecutive pages, consecutive lines."""
+
+    kind = "scan"
+    write_ratio: float = 0.0
+    mpki: float = 8.0
+    #: Consecutive lines touched per visited page before moving on.
+    lines_per_page: int = 16
+    #: Page step between visits (1 = dense sweep; larger = strided).
+    stride_pages: int = 1
+    weight: float = 1.0
+
+    def generate(
+        self, ctx: PhaseContext, rng: np.random.Generator, records: int
+    ) -> List[TraceRecord]:
+        out: List[TraceRecord] = []
+        if records <= 0:
+            return out
+        lines_per_page = max(1, min(self.lines_per_page, CACHELINES_PER_PAGE))
+        stride = max(1, self.stride_pages)
+        cursor = int(rng.integers(0, ctx.pages))
+        gaps = _gaps(rng, self.mpki, records)
+        writes = rng.random(records) < self.write_ratio
+        while len(out) < records:
+            page = ctx.base_page + (cursor % ctx.pages)
+            cursor += stride
+            for line in range(lines_per_page):
+                i = len(out)
+                out.append((int(gaps[i]), bool(writes[i]), _addr(page, line)))
+                if len(out) >= records:
+                    break
+        return out
+
+
+@dataclass(frozen=True)
+class PointerChasePhase(Phase):
+    """Dependent random walk: each access's page derives from the last.
+
+    Walks a random permutation cycle of the page domain (next pointer =
+    the permutation's successor), so every page is visited exactly once
+    per lap with zero spatial locality -- the uniform stream that makes
+    out-of-order execution "less effective for hiding the long flash
+    access latency" (SS II-C).
+    """
+
+    kind = "chase"
+    write_ratio: float = 0.05
+    mpki: float = 60.0
+    weight: float = 1.0
+
+    def generate(
+        self, ctx: PhaseContext, rng: np.random.Generator, records: int
+    ) -> List[TraceRecord]:
+        out: List[TraceRecord] = []
+        if records <= 0:
+            return out
+        perm = rng.permutation(ctx.pages)
+        start = int(rng.integers(0, ctx.pages))
+        gaps = _gaps(rng, self.mpki, records)
+        writes = rng.random(records) < self.write_ratio
+        lines = rng.integers(0, CACHELINES_PER_PAGE, size=records)
+        for i in range(records):
+            page = int(perm[(start + i) % ctx.pages])
+            out.append((int(gaps[i]), bool(writes[i]),
+                        _addr(ctx.base_page + page, int(lines[i]))))
+        return out
+
+
+@dataclass(frozen=True)
+class BurstyWritePhase(Phase):
+    """Append bursts into a log region at the top of the domain.
+
+    Long idle gaps separate dense write bursts -- the WAL/ingest shape
+    whose sparse, write-only pages the SkyByte write log absorbs without
+    read-modify-write flash fetches.
+    """
+
+    kind = "write-burst"
+    #: Lines appended per burst.
+    burst_lines: int = 64
+    #: Mean compute instructions between bursts.
+    idle_gap_mean: float = 2000.0
+    #: Mean compute instructions between appends inside a burst.
+    inner_gap_mean: float = 10.0
+    #: Tail fraction of the domain used as the append region.
+    region_fraction: float = 0.25
+    weight: float = 1.0
+
+    def generate(
+        self, ctx: PhaseContext, rng: np.random.Generator, records: int
+    ) -> List[TraceRecord]:
+        out: List[TraceRecord] = []
+        if records <= 0:
+            return out
+        frac = min(max(self.region_fraction, 1.0 / max(ctx.pages, 1)), 1.0)
+        region_pages = max(1, int(ctx.pages * frac))
+        region_base = ctx.base_page + ctx.pages - region_pages
+        burst = max(1, self.burst_lines)
+        cursor = int(rng.integers(0, region_pages * CACHELINES_PER_PAGE))
+        idle = rng.exponential(max(1.0, self.idle_gap_mean),
+                               size=records).astype(np.int64)
+        inner = rng.exponential(max(1.0, self.inner_gap_mean),
+                                size=records).astype(np.int64)
+        while len(out) < records:
+            for b in range(burst):
+                i = len(out)
+                gap = int(idle[i]) if b == 0 else int(inner[i])
+                page = region_base + (cursor // CACHELINES_PER_PAGE) % region_pages
+                line = cursor % CACHELINES_PER_PAGE
+                cursor += 1
+                out.append((gap, True, _addr(page, line)))
+                if len(out) >= records:
+                    break
+        return out
+
+
+@dataclass(frozen=True)
+class DriftPhase(Phase):
+    """Zipf accesses over a working-set window sliding through the
+    footprint -- the page-promotion-hostile churn pattern (a hot set
+    that will not stay hot)."""
+
+    kind = "drift"
+    alpha: float = 1.1
+    write_ratio: float = 0.2
+    mpki: float = 25.0
+    burst_mean: float = 4.0
+    #: Working-set window size as a fraction of the footprint.
+    window_fraction: float = 0.125
+    #: Pages the window advances per page visit.
+    drift_per_visit: float = 0.5
+    weight: float = 1.0
+
+    def generate(
+        self, ctx: PhaseContext, rng: np.random.Generator, records: int
+    ) -> List[TraceRecord]:
+        out: List[TraceRecord] = []
+        if records <= 0:
+            return out
+        window = max(1, int(ctx.pages * min(max(self.window_fraction, 0.0), 1.0)))
+        mean_burst = max(1.0, self.burst_mean)
+        sample = _zipf_sampler(rng, self.alpha, window)
+        gaps = _gaps(rng, self.mpki, records)
+        origin = float(rng.integers(0, ctx.pages))
+        # Refill visit batches until the exact count is met; the window
+        # origin keeps drifting across batches.
+        while len(out) < records:
+            batch = max(1, int((records - len(out)) / mean_burst) + 8)
+            bursts = _bursts(rng, mean_burst, batch)
+            offsets = sample(batch)
+            for v in range(batch):
+                if len(out) >= records:
+                    break
+                page = ctx.base_page + (int(origin) + int(offsets[v])) % ctx.pages
+                origin += self.drift_per_visit
+                burst = int(bursts[v])
+                lines = rng.choice(
+                    CACHELINES_PER_PAGE,
+                    size=min(burst, CACHELINES_PER_PAGE),
+                    replace=False,
+                ).tolist()
+                writes = rng.random(len(lines)) < self.write_ratio
+                for i, line in enumerate(lines):
+                    out.append((int(gaps[len(out)]), bool(writes[i]),
+                                _addr(page, int(line))))
+                    if len(out) >= records:
+                        break
+        return out
+
+
+@dataclass(frozen=True)
+class TableIPhase(Phase):
+    """One of the seven Table I applications, generated verbatim.
+
+    Delegates to :class:`~repro.workloads.models.WorkloadModel` with the
+    scenario's ``(scale, seed, tid, threads)``, so a scenario consisting
+    of exactly one ``TableIPhase`` reproduces the seed model's traces
+    **bit-exactly** (pinned in ``tests/golden/scenario_table1.json``).
+    """
+
+    kind = "table1"
+    workload: str = "bc"
+    weight: float = 1.0
+
+    def generate(
+        self, ctx: PhaseContext, rng: np.random.Generator, records: int
+    ) -> List[TraceRecord]:
+        # Local import: repro.workloads.suites must stay importable
+        # without this package (it is lower in the layer map).
+        from repro.workloads.models import WorkloadModel
+        from repro.workloads.suites import get_spec
+
+        del rng  # the model derives its own generators from (seed, tid)
+        model = WorkloadModel(get_spec(self.workload), scale=ctx.scale,
+                              seed=ctx.seed)
+        return model.generate_thread(ctx.tid, ctx.threads, records)
+
+
+#: Serialization tag -> primitive class.
+PHASE_KINDS: Dict[str, Type[Phase]] = {
+    cls.kind: cls
+    for cls in (ZipfPhase, ScanPhase, PointerChasePhase, BurstyWritePhase,
+                DriftPhase, TableIPhase)
+}
+
+
+def phase_from_dict(data: Dict[str, object]) -> Phase:
+    """Inverse of :meth:`Phase.to_dict`."""
+    kind = data.get("kind")
+    cls = PHASE_KINDS.get(str(kind))
+    if cls is None:
+        raise ValueError(
+            f"unknown phase kind {kind!r}; known: {sorted(PHASE_KINDS)}"
+        )
+    kwargs = {k: v for k, v in data.items() if k != "kind"}
+    names = {f.name for f in fields(cls)}  # type: ignore[arg-type]
+    unknown = set(kwargs) - names
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)} for phase kind {kind!r}"
+        )
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, deterministic workload built from phase primitives.
+
+    Phases execute sequentially per thread; each phase's share of the
+    thread's records is its ``weight`` over the sum of weights (the last
+    phase absorbs rounding).  ``partitioned`` slices the footprint per
+    thread like the Table I radix model; otherwise threads share it.
+    """
+
+    name: str
+    footprint_bytes: int
+    phases: Tuple[Phase, ...]
+    mlp: int = 8
+    partitioned: bool = False
+    description: str = ""
+
+    def footprint_pages(self, scale: int = 1) -> int:
+        """Working-set size in 4 KB pages (the WorkloadSpec rule)."""
+        return max(64, int(self.footprint_bytes / scale) // PAGE_SIZE)
+
+    def _record_split(self, records: int) -> List[int]:
+        weights = [max(0.0, float(p.weight)) for p in self.phases]
+        total = sum(weights) or 1.0
+        counts = [int(records * w / total) for w in weights]
+        counts[-1] += records - sum(counts)
+        return counts
+
+    def generate_thread(
+        self,
+        tid: int,
+        threads: int,
+        records: int,
+        scale: int = 1,
+        seed: int = 42,
+    ) -> List[TraceRecord]:
+        """One thread's trace: each phase contributes its weighted share."""
+        if not self.phases:
+            raise ValueError(f"scenario {self.name!r} has no phases")
+        pages = self.footprint_pages(scale)
+        if self.partitioned and threads > 1:
+            span = pages // threads
+            base_page = tid * span
+            local_pages = max(1, span)
+        else:
+            base_page = 0
+            local_pages = pages
+        out: List[TraceRecord] = []
+        for index, (phase, count) in enumerate(
+            zip(self.phases, self._record_split(records))
+        ):
+            rng = np.random.default_rng(
+                ((seed * 1_000_003 + tid) ^ (0x5CE0A0 + index)) & 0x7FFFFFFF
+            )
+            ctx = PhaseContext(
+                base_page=base_page,
+                pages=local_pages,
+                scale=scale,
+                seed=seed,
+                tid=tid,
+                threads=threads,
+            )
+            out.extend(phase.generate(ctx, rng, count))
+        return out
+
+    def generate(
+        self,
+        threads: int,
+        records_per_thread: int,
+        scale: int = 1,
+        seed: int = 42,
+    ) -> List[List[TraceRecord]]:
+        """Per-thread traces (the :class:`WorkloadModel.generate` shape)."""
+        return [
+            self.generate_thread(tid, threads, records_per_thread,
+                                 scale=scale, seed=seed)
+            for tid in range(threads)
+        ]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "footprint_bytes": self.footprint_bytes,
+            "phases": [p.to_dict() for p in self.phases],
+            "mlp": self.mlp,
+            "partitioned": self.partitioned,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        return cls(
+            name=str(data["name"]),
+            footprint_bytes=int(data["footprint_bytes"]),
+            phases=tuple(phase_from_dict(p) for p in data["phases"]),
+            mlp=int(data.get("mlp", 8)),
+            partitioned=bool(data.get("partitioned", False)),
+            description=str(data.get("description", "")),
+        )

@@ -13,6 +13,7 @@ reproducible without regeneration.
 
 from __future__ import annotations
 
+import zipfile
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +21,15 @@ import numpy as np
 from repro.config import CACHELINE_SIZE, PAGE_SIZE
 
 TraceRecord = Tuple[int, bool, int]
+
+
+class TraceFormatError(ValueError):
+    """A persisted trace is malformed, truncated, or mis-ordered.
+
+    Raised instead of silently replaying a prefix: a short read on a
+    trace file must fail loudly, or every downstream stat is quietly
+    computed over the wrong workload.
+    """
 
 
 def make_trace(
@@ -66,12 +76,60 @@ def save_traces(path: str, traces: Sequence[Sequence[TraceRecord]]) -> None:
 
 
 def load_traces(path: str) -> List[List[TraceRecord]]:
-    """Inverse of :func:`save_traces`."""
-    data = np.load(path)
-    traces = []
-    for key in sorted(data.files, key=lambda k: int(k.split("_")[1])):
-        arr = data[key]
-        traces.append([(int(g), bool(w), int(a)) for g, w, a in arr])
+    """Inverse of :func:`save_traces`, with validation.
+
+    Rejects (with :class:`TraceFormatError`) truncated/corrupt archives,
+    non-contiguous thread numbering (``thread_0 .. thread_{n-1}`` must
+    all be present, so a missing thread cannot silently shift the
+    others), malformed record arrays, and negative gaps -- instead of
+    ending the trace early at whatever loaded.
+    """
+    try:
+        data = np.load(path)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise TraceFormatError(
+            f"unreadable trace archive {path!r}: {exc}"
+        ) from exc
+    with data:
+        indices = []
+        for key in data.files:
+            prefix, _, suffix = key.partition("_")
+            if prefix != "thread" or not suffix.isdigit():
+                raise TraceFormatError(
+                    f"unexpected array {key!r} in trace archive {path!r}"
+                )
+            indices.append(int(suffix))
+        if sorted(indices) != list(range(len(indices))):
+            raise TraceFormatError(
+                f"trace archive {path!r} has non-contiguous thread ids "
+                f"{sorted(indices)}; expected thread_0..thread_{{n-1}}"
+            )
+        traces: List[List[TraceRecord]] = []
+        for i in range(len(indices)):
+            try:
+                arr = data[f"thread_{i}"]
+            except (ValueError, EOFError, zipfile.BadZipFile, OSError) as exc:
+                raise TraceFormatError(
+                    f"truncated trace archive {path!r}: thread_{i} "
+                    f"unreadable: {exc}"
+                ) from exc
+            if arr.size == 0:
+                traces.append([])
+                continue
+            if arr.ndim != 2 or arr.shape[1] != 3:
+                raise TraceFormatError(
+                    f"thread_{i} in {path!r} has shape {arr.shape}; "
+                    f"expected (records, 3)"
+                )
+            if (arr[:, 0] < 0).any():
+                raise TraceFormatError(
+                    f"thread_{i} in {path!r} contains negative gaps"
+                )
+            if (arr[:, 2] < 0).any():
+                raise TraceFormatError(
+                    f"thread_{i} in {path!r} contains negative addresses"
+                )
+            traces.append([(int(g), bool(w), int(a)) for g, w, a in arr])
     return traces
 
 

@@ -151,6 +151,116 @@ def test_figures_registry_covers_every_driver():
     assert expected <= set(FIGURES)
 
 
+def test_sweep_scenario_option(capsys, tmp_path):
+    out = tmp_path / "scenario.json"
+    rc = main(["sweep", "--scenario", "web-tier", "--variants", "Base-CSSD",
+               "--records", R, "--no-cache", "--quiet", "-o", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["workloads"] == ["web-tier"]
+    assert payload["results"][0]["workload"] == "web-tier"
+
+
+def test_sweep_scenario_mixes_with_workloads(capsys):
+    rc = main(["sweep", "--workloads", "bc", "--scenario", "tab1-ycsb",
+               "--variants", "Base-CSSD", "--records", R, "--no-cache",
+               "--quiet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bc" in out and "tab1-ycsb" in out
+
+
+def test_sweep_unknown_scenario_fails_cleanly(capsys):
+    rc = main(["sweep", "--scenario", "nope", "--records", R, "--no-cache"])
+    assert rc == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_run_accepts_scenario_names(capsys):
+    rc = main(["run", "graph-walk", "Base-CSSD", "--records", R,
+               "--no-cache"])
+    assert rc == 0
+    assert "graph-walk / Base-CSSD" in capsys.readouterr().out
+
+
+# -- trace gen / inspect / capture / replay ---------------------------------
+
+
+def test_trace_gen_inspect_replay_roundtrip(capsys, tmp_path):
+    trace = tmp_path / "t.sbt"
+    rc = main(["trace", "gen", "web-tier", "--threads", "2", "--records", R,
+               "-o", str(trace)])
+    assert rc == 0
+    assert trace.is_file()
+    capsys.readouterr()
+
+    assert main(["trace", "inspect", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "web-tier" in out and "records" in out
+
+    out_json = tmp_path / "replay.json"
+    rc = main(["trace", "replay", str(trace), "--variant", "Base-CSSD",
+               "--no-cache", "--json", str(out_json)])
+    assert rc == 0
+    assert json.loads(out_json.read_text())["workload"] == "web-tier"
+
+
+def test_trace_gen_multiple_names_builds_colocation(capsys, tmp_path):
+    trace = tmp_path / "coloc.sbt"
+    rc = main(["trace", "gen", "web-tier", "log-ingest", "--threads", "1",
+               "--records", R, "-o", str(trace)])
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["trace", "inspect", str(trace), "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["threads"] == 2
+    assert info["meta"]["kind"] == "colocation"
+    assert [t["name"] for t in info["meta"]["tenants"]] == [
+        "web-tier", "log-ingest"]
+
+
+def test_trace_capture_then_replay_is_bit_exact(capsys, tmp_path):
+    trace = tmp_path / "cap.sbt"
+    cap_json = tmp_path / "cap.json"
+    rep_json = tmp_path / "rep.json"
+    rc = main(["trace", "capture", "bc", "SkyByte-W", "--records", R,
+               "-o", str(trace)])
+    assert rc == 0
+    rc = main(["trace", "replay", str(trace), "--no-cache",
+               "--json", str(rep_json)])
+    assert rc == 0
+    rc = main(["run", "bc", "SkyByte-W", "--records", R, "--no-cache",
+               "--json", str(cap_json)])
+    assert rc == 0
+    replayed = json.loads(rep_json.read_text())
+    direct = json.loads(cap_json.read_text())
+    assert (json.dumps(replayed["stats"], sort_keys=True)
+            == json.dumps(direct["stats"], sort_keys=True))
+
+
+def test_trace_replay_missing_file_fails_cleanly(capsys, tmp_path):
+    rc = main(["trace", "replay", str(tmp_path / "missing.sbt")])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_trace_replay_truncated_file_fails_cleanly(capsys, tmp_path):
+    trace = tmp_path / "t.sbt"
+    assert main(["trace", "gen", "log-ingest", "--threads", "1",
+                 "--records", R, "-o", str(trace)]) == 0
+    trace.write_bytes(trace.read_bytes()[:-10])
+    capsys.readouterr()
+    rc = main(["trace", "replay", str(trace), "--no-cache"])
+    assert rc == 2
+    assert "truncated" in capsys.readouterr().err
+
+
+def test_trace_gen_unknown_name_fails_cleanly(capsys, tmp_path):
+    rc = main(["trace", "gen", "nope", "-o", str(tmp_path / "x.sbt")])
+    assert rc == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
 def test_cache_stats_path_and_clear(capsys, tmp_path):
     cache_dir = tmp_path / "cache"
     main(["sweep", "--workloads", "bc", "--variants", "Base-CSSD",

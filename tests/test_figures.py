@@ -62,10 +62,25 @@ def log_cdf_chart() -> Chart:
     )
 
 
+def stacked_chart() -> Chart:
+    return Chart(
+        title="Golden stacked bars",
+        kind="stacked",
+        categories=("bc", "ycsb"),
+        series=(
+            Series("Host DRAM", values=(10.0, 4.0)),
+            Series("Flash", values=(90.0, None)),
+        ),
+        y_label="AMAT (ns)",
+        subtitle="segments stack bottom-up in series order",
+    )
+
+
 GOLDEN_CHARTS = {
     "chart_bar.svg": bar_chart,
     "chart_line.svg": line_chart,
     "chart_log_cdf.svg": log_cdf_chart,
+    "chart_stacked.svg": stacked_chart,
 }
 
 
@@ -136,6 +151,23 @@ def test_bar_series_must_align_with_categories():
         render_chart(bad)
 
 
+def test_stacked_rejects_negative_segments():
+    bad = Chart(
+        title="below baseline", kind="stacked", categories=("a",),
+        series=(Series("s", values=(-0.5,)),),
+    )
+    with pytest.raises(ValueError, match="negative"):
+        render_chart(bad)
+
+
+def test_stacked_segment_count():
+    svg = render_chart(stacked_chart())
+    root = ET.fromstring(svg)
+    rects = list(root.iter(f"{SVG_NS}rect"))
+    # background + 2 legend swatches + 3 segments (None draws nothing)
+    assert len(rects) == 1 + 2 + 3
+
+
 # ---------------------------------------------------------------------------
 # Registry consistency
 # ---------------------------------------------------------------------------
@@ -203,6 +235,41 @@ def test_fig22_shaper_takes_geomean_across_workloads():
     assert chart.categories == ("ULL", "MLC")
     mlc = chart.series[0].values[1]
     assert mlc == pytest.approx(2.0)  # geomean(4, 1)
+
+
+def test_fig16_shaper_stacks_request_classes():
+    data = {"bc": {"H-R/W": 0.1, "S-R-H": 0.4, "S-R-M": 0.3, "S-W": 0.2}}
+    (chart,) = shape_figure("fig16", data)
+    assert chart.kind == "stacked"
+    assert [s.label for s in chart.series] == ["H-R/W", "S-R-H", "S-R-M",
+                                               "S-W"]
+
+
+def test_fig17_shaper_facets_stacked_amat_per_workload():
+    row = {"amat_ns": 5.0, "Host DRAM": 1.0, "CXL Protocol": 1.0,
+           "Indexing": 1.0, "SSD DRAM": 1.0, "Flash": 1.0}
+    data = {"bc": {"Base-CSSD": row, "DRAM-Only": row}, "ycsb": {"Base-CSSD": row}}
+    charts = shape_figure("fig17", data)
+    assert len(charts) == 2
+    assert all(c.kind == "stacked" for c in charts)
+    assert charts[0].categories == ("Base-CSSD", "DRAM-Only")
+    assert [s.label for s in charts[0].series] == [
+        "Host DRAM", "CXL Protocol", "Indexing", "SSD DRAM", "Flash"]
+
+
+def test_colocation_shaper_builds_slowdown_and_breakdowns():
+    tenant = {"slowdown": 1.4,
+              "requests": {"H-R/W": 0.1, "S-R-H": 0.5, "S-R-M": 0.2,
+                           "S-W": 0.2},
+              "amat": {"Host DRAM": 1.0, "CXL Protocol": 2.0, "Indexing": 1.0,
+                       "SSD DRAM": 3.0, "Flash": 9.0}}
+    data = {"variant": "SkyByte-Full",
+            "tenants": {"web": tenant, "ingest": tenant}}
+    slowdown, requests, amat = shape_figure("colocation", data)
+    assert slowdown.kind == "bar" and slowdown.categories == ("web", "ingest")
+    assert requests.kind == "stacked"
+    assert amat.kind == "stacked"
+    assert amat.series[-1].label == "Flash"
 
 
 def test_persistence_shaper_maps_never_flush_to_right_edge():

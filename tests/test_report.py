@@ -66,6 +66,32 @@ def test_builder_faceted_figures_write_numbered_svgs(tmp_path):
     assert "![fig15](fig15_1.svg)" in md and "![fig15](fig15_2.svg)" in md
 
 
+def test_builder_writes_machine_readable_bench(tmp_path):
+    import json
+
+    builder = ReportBuilder(tmp_path, ["fig14", "table3"])
+    builder.figure_started("fig14")
+    builder.figure_finished(
+        "fig14", {"bc": {"Base-CSSD": 1.0, "SkyByte-Full": 1.0 / 6.11}}
+    )
+    bench = json.loads((tmp_path / "BENCH_fidelity.json").read_text())
+    fig14 = bench["figures"]["fig14"]
+    assert fig14["state"] == "done"
+    assert fig14["score"] == 1.0  # the one expectation passes exactly
+    assert fig14["wall_s"] >= 0.0
+    assert fig14["expectations"][0]["status"] == "pass"
+    # pending figures appear with null score and their state
+    assert bench["figures"]["table3"]["state"] == "pending"
+    assert bench["figures"]["table3"]["score"] is None
+    assert bench["overall"]["complete"] is False
+    assert bench["overall"]["statuses"]["pass"] == 1
+
+    builder.figure_failed("table3", "boom")
+    bench = json.loads((tmp_path / "BENCH_fidelity.json").read_text())
+    assert bench["figures"]["table3"]["state"] == "failed"
+    assert bench["overall"]["complete"] is True
+
+
 # -- CLI end-to-end ---------------------------------------------------------
 
 
@@ -84,8 +110,8 @@ def test_report_cli_end_to_end_and_cache_warm_rerun(tmp_path, capsys):
     md = (out / "REPORT.md").read_text()
     assert "Complete: 2/2 figure(s) rendered" in md
     assert "## Fidelity vs. the paper" in md
-    for artifact in ("REPORT.html", "table3.svg", "cost.svg",
-                     "table3.json", "cost.json"):
+    for artifact in ("REPORT.html", "BENCH_fidelity.json", "table3.svg",
+                     "cost.svg", "table3.json", "cost.json"):
         assert (out / artifact).is_file()
     assert (out / "REPORT.html").read_text().count("<svg") == 2
 

@@ -1,0 +1,261 @@
+"""Tests for the phase DSL: primitives, scenarios, and the Table I pins.
+
+Two golden properties anchor the subsystem:
+
+* every phase primitive is **deterministic** under a fixed seed
+  (property-tested across parameter draws);
+* all seven Table I workloads, re-expressed as DSL scenarios
+  (``tab1-*``), generate traces **bit-identical** to the seed
+  :class:`~repro.workloads.models.WorkloadModel` and produce
+  golden-identical ``SimStats`` (pinned in
+  ``tests/golden/scenario_table1.json``; refresh with
+  ``REPRO_UPDATE_GOLDEN=1`` as for the other golden suites).
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAGE_SIZE
+from repro.experiments.runner import run_workload
+from repro.scenarios.library import (
+    SCENARIOS,
+    canonical_scenario,
+    find_scenario,
+    get_scenario,
+    scenario_for_workload,
+)
+from repro.scenarios.phases import (
+    BurstyWritePhase,
+    DriftPhase,
+    PhaseContext,
+    PointerChasePhase,
+    ScanPhase,
+    Scenario,
+    ZipfPhase,
+    phase_from_dict,
+)
+from repro.workloads.suites import TABLE_I, get_model
+
+import numpy as np
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "scenario_table1.json"
+RECORDS = 50
+SEED = 42
+SCALE = 512
+
+COMMON_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _ctx(pages=256, tid=0, threads=2, seed=7):
+    return PhaseContext(base_page=0, pages=pages, scale=SCALE, seed=seed,
+                        tid=tid, threads=threads)
+
+
+# ---------------------------------------------------------------------------
+# Primitive determinism (the property every phase must honour)
+# ---------------------------------------------------------------------------
+
+phase_st = st.one_of(
+    st.builds(ZipfPhase,
+              alpha=st.floats(0.5, 2.0),
+              write_ratio=st.floats(0.0, 1.0),
+              mpki=st.floats(1.0, 120.0),
+              burst_mean=st.floats(1.0, 32.0),
+              in_page_sequential=st.booleans()),
+    st.builds(ScanPhase,
+              write_ratio=st.floats(0.0, 1.0),
+              mpki=st.floats(1.0, 60.0),
+              lines_per_page=st.integers(1, 64),
+              stride_pages=st.integers(1, 8)),
+    st.builds(PointerChasePhase,
+              write_ratio=st.floats(0.0, 1.0),
+              mpki=st.floats(1.0, 120.0)),
+    st.builds(BurstyWritePhase,
+              burst_lines=st.integers(1, 128),
+              idle_gap_mean=st.floats(1.0, 5000.0),
+              inner_gap_mean=st.floats(1.0, 100.0),
+              region_fraction=st.floats(0.01, 1.0)),
+    st.builds(DriftPhase,
+              alpha=st.floats(0.5, 2.0),
+              write_ratio=st.floats(0.0, 1.0),
+              mpki=st.floats(1.0, 120.0),
+              burst_mean=st.floats(1.0, 16.0),
+              window_fraction=st.floats(0.01, 1.0),
+              drift_per_visit=st.floats(0.0, 4.0)),
+)
+
+
+@COMMON_SETTINGS
+@given(phase=phase_st, seed=st.integers(0, 2**31 - 1),
+       records=st.integers(0, 300))
+def test_every_phase_primitive_is_deterministic(phase, seed, records):
+    ctx = _ctx()
+    a = phase.generate(ctx, np.random.default_rng(seed), records)
+    b = phase.generate(ctx, np.random.default_rng(seed), records)
+    assert a == b
+    assert len(a) == records  # synthesis primitives are exact-count
+    for gap, is_write, address in a:
+        assert gap >= 0
+        assert isinstance(is_write, bool)
+        page = address // PAGE_SIZE
+        assert 0 <= page < ctx.pages
+
+
+@COMMON_SETTINGS
+@given(phase=phase_st, seed=st.integers(0, 2**31 - 1))
+def test_phase_serialization_roundtrip(phase, seed):
+    clone = phase_from_dict(phase.to_dict())
+    assert clone == phase
+    ctx = _ctx()
+    rng = np.random.default_rng(seed)
+    rng2 = np.random.default_rng(seed)
+    assert phase.generate(ctx, rng, 64) == clone.generate(ctx, rng2, 64)
+
+
+def test_phase_from_dict_rejects_unknowns():
+    with pytest.raises(ValueError, match="unknown phase kind"):
+        phase_from_dict({"kind": "wat"})
+    with pytest.raises(ValueError, match="unknown field"):
+        phase_from_dict({"kind": "zipf", "frobnicate": 1})
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def test_scenario_generation_is_deterministic():
+    for name, scenario in SCENARIOS.items():
+        a = scenario.generate(2, 100, scale=SCALE, seed=9)
+        b = scenario.generate(2, 100, scale=SCALE, seed=9)
+        assert a == b, name
+
+
+def test_scenario_weights_split_records():
+    scenario = Scenario(
+        name="split", footprint_bytes=1 << 26,
+        phases=(ScanPhase(weight=3.0), PointerChasePhase(weight=1.0)),
+    )
+    trace = scenario.generate_thread(0, 1, 100, scale=SCALE, seed=1)
+    assert len(trace) == 100
+
+
+def test_scenario_threads_differ():
+    scenario = get_scenario("web-tier")
+    traces = scenario.generate(4, 80, scale=SCALE, seed=3)
+    assert len({tuple(t) for t in traces}) == 4  # no two threads identical
+
+
+def test_scenario_serialization_roundtrip():
+    for scenario in SCENARIOS.values():
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+def test_scenario_with_no_phases_refused():
+    empty = Scenario(name="empty", footprint_bytes=1 << 20, phases=())
+    with pytest.raises(ValueError, match="no phases"):
+        empty.generate_thread(0, 1, 10)
+
+
+def test_partitioned_scenario_slices_footprint():
+    scenario = get_scenario("analytics-scan")
+    assert scenario.partitioned
+    pages = scenario.footprint_pages(SCALE)
+    traces = scenario.generate(4, 120, scale=SCALE, seed=5)
+    span = pages // 4
+    for tid, trace in enumerate(traces):
+        for _gap, _w, address in trace:
+            page = address // PAGE_SIZE
+            assert tid * span <= page < (tid + 1) * span or span == 0
+
+
+# ---------------------------------------------------------------------------
+# Registry / name resolution
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_scenario_accepts_all_spellings():
+    assert canonical_scenario("web-tier") == "web-tier"
+    assert canonical_scenario("scenario:WEB-TIER") == "web-tier"
+    assert canonical_scenario("bc") == "tab1-bc"  # bare Table I name
+    assert canonical_scenario("ycsb-b") == "tab1-ycsb"  # alias
+    with pytest.raises(KeyError, match="unknown scenario"):
+        canonical_scenario("nope")
+    assert find_scenario("nope") is None
+
+
+def test_registry_has_every_table1_instance():
+    for workload in TABLE_I:
+        assert f"tab1-{workload}" in SCENARIOS
+
+
+# ---------------------------------------------------------------------------
+# Table I via the DSL: bit-identical traces, golden-identical SimStats
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", sorted(TABLE_I))
+def test_table1_scenario_traces_match_seed_model(workload):
+    scenario = scenario_for_workload(workload)
+    model = get_model(workload, scale=SCALE, seed=SEED)
+    assert scenario.mlp == model.spec.mlp
+    assert (scenario.generate(3, 64, scale=SCALE, seed=SEED)
+            == model.generate(3, 64))
+
+
+def _stats_digest(stats) -> str:
+    blob = json.dumps(stats.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def table1_pins():
+    if GOLDEN_PATH.is_file():
+        pins = json.loads(GOLDEN_PATH.read_text())
+    else:
+        pins = {}
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        pins = {}
+        for workload in sorted(TABLE_I):
+            result = run_workload(workload, "Base-CSSD",
+                                  records_per_thread=RECORDS, seed=SEED)
+            pins[workload] = {
+                "records_per_thread": RECORDS,
+                "seed": SEED,
+                "stats_sha256": _stats_digest(result.stats),
+                "execution_ns": result.stats.execution_ns,
+                "instructions": result.stats.instructions,
+            }
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(pins, indent=2, sort_keys=True) + "\n"
+        )
+    return pins
+
+
+@pytest.mark.parametrize("workload", sorted(TABLE_I))
+def test_table1_scenario_stats_match_golden(table1_pins, workload):
+    """The DSL instance of each Table I workload simulates to the exact
+    pinned SimStats of the seed model (the golden pins are generated
+    from the *model* path, the assertion runs the *scenario* path)."""
+    assert workload in table1_pins, (
+        f"missing pin for {workload}; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    pin = table1_pins[workload]
+    result = run_workload(f"tab1-{workload}", "Base-CSSD",
+                          records_per_thread=pin["records_per_thread"],
+                          seed=pin["seed"])
+    assert result.stats.execution_ns == pin["execution_ns"]
+    assert result.stats.instructions == pin["instructions"]
+    assert _stats_digest(result.stats) == pin["stats_sha256"]
