@@ -71,6 +71,7 @@ import traceback
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import bench as bench_mod
 from repro.experiments import ablation, colocation, cost, design, migration_study
 from repro.experiments import motivation, overall, sensitivity
 from repro.experiments.backends import (
@@ -605,6 +606,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Speed benchmarking: emit BENCH_speed.json, optionally gate on the
+    committed baseline (see :mod:`repro.bench`)."""
+    return bench_mod.run_from_args(args)
+
+
 def _trace_gen_meta(names: Sequence[str], args: argparse.Namespace,
                     threads_per_tenant: int):
     """Build (traces, meta) for ``trace gen``: one name is a solo trace,
@@ -905,6 +912,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="size cap for stats display and prune "
                               "(default REPRO_CACHE_MAX_BYTES)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure figure-driver throughput and emit BENCH_speed.json",
+    )
+    bench_mod.add_arguments(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -25,6 +25,7 @@ from typing import List, Optional
 from repro.config import SimConfig
 from repro.host.scheduler import Scheduler
 from repro.host.threads import ThreadContext, Window
+from repro.sim import fastpath
 from repro.sim.engine import Engine
 from repro.ssd.interface import AccessResult
 
@@ -53,6 +54,9 @@ class Core:
         # dependence-limited parallelism (pointer chasing exposes little).
         self._mlp = max(1, min(cpu.l1_mshrs, getattr(system, "workload_mlp", 8)))
         self.thread: Optional[ThreadContext] = None
+        #: Vectorized device-latency inner loop: DRAM-only runs have no
+        #: delay hints, so a whole window batches into one float loop.
+        self._dram_fast = config.dram_only and fastpath.vectorized()
         self._sched_runtime = 0.0  # time on core since last schedule
         self._parked = False
         #: Pending TLB-shootdown cost to absorb at the next window.
@@ -114,6 +118,12 @@ class Core:
         just_resumed = thread.just_resumed
         thread.just_resumed = False
         compute_ns = window.instructions * self._cycle_ns / self._ipc
+
+        if self._dram_fast:
+            completes = self._system.dram_window_access(window.ops, now)
+            self._retire_values(thread, window, completes, compute_ns, now)
+            return
+
         results: List[AccessResult] = []
         switch_at: Optional[int] = None
         executed_instr = 0
@@ -153,10 +163,41 @@ class Core:
         stats.add_memory_stall(max(0.0, wall - compute_ns))
         for r in results:
             stats.record_offchip(max(1.0, r.complete_ns - now))
+        self._finish_retire(thread, window.instructions, wall, now)
+
+    def _retire_values(
+        self,
+        thread: ThreadContext,
+        window: Window,
+        completes: List[float],
+        compute_ns: float,
+        now: float,
+    ) -> None:
+        """:meth:`_retire_window` over bare completion times (the batched
+        DRAM-only inner loop); field-for-field the same updates."""
+        stats = self._system.stats
+        last_completion = now
+        for c in completes:
+            if c > last_completion:
+                last_completion = c
+        wall = max(compute_ns, last_completion - now)
+        stats.add_instructions(window.instructions)
+        stats.add_compute(compute_ns)
+        stats.add_memory_stall(max(0.0, wall - compute_ns))
+        if stats.enabled:
+            record = stats.offchip_latency.record
+            for c in completes:
+                lat = c - now
+                record(lat if lat > 1.0 else 1.0)
+        self._finish_retire(thread, window.instructions, wall, now)
+
+    def _finish_retire(
+        self, thread: ThreadContext, instructions: int, wall: float, now: float
+    ) -> None:
         thread.runtime_ns += wall
-        thread.instructions_done += window.instructions
+        thread.instructions_done += instructions
         self._sched_runtime += wall
-        self._system.note_progress(window.instructions)
+        self._system.note_progress(instructions)
         end = now + wall
 
         # Quantum preemption keeps oversubscribed runs fair even when the

@@ -53,7 +53,7 @@ def next_tag() -> int:
     return next(_tag_counter) % TAG_SPACE
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """A CXL.mem M2S request for one 64-byte cacheline.
 

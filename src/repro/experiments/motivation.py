@@ -12,7 +12,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.config import CACHELINES_PER_PAGE, PAGE_SIZE
 from repro.experiments.orchestrator import run_sweep, sweep_product
-from repro.experiments.runner import default_records
+from repro.experiments.runner import _traces_for, default_records
 from repro.sim.stats import LocalityTracker
 from repro.ssd.base_cache import SetAssociativePageCache
 from repro.workloads.suites import WORKLOAD_NAMES, get_model, representative_four
@@ -165,7 +165,11 @@ def _replay_locality(
     was dirty.
     """
     model = get_model(workload, scale=scale, seed=seed)
-    trace = model.generate_thread(0, 1, records)
+    # One generation per workload: the trace is identical across the
+    # cache ratios, so route it through the runner's memo (vectorized
+    # path) instead of re-synthesising it for every ratio.
+    traces, _mlp = _traces_for(workload, 1, records, scale, seed)
+    trace = traces[0]
     cache_pages = max(1, model.pages // cache_ratio)
     cache = SetAssociativePageCache(cache_pages, ways=16)
     reads = LocalityTracker()

@@ -14,12 +14,14 @@ All benchmarks, examples and figure drivers go through
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import SimConfig, scaled_config
 from repro.scenarios.library import find_scenario
 from repro.scenarios.tracefile import read_meta, read_tracefile, write_tracefile
+from repro.sim import fastpath
 from repro.sim.stats import SimStats
 from repro.sim.system import System
 from repro.variants import DesignVariant, get_variant
@@ -128,11 +130,43 @@ def build_config(
     return config
 
 
+#: Memoized (traces, mlp) per resolved generation key.  Trace synthesis
+#: is deterministic in ``(workload, threads, records, scale, seed)`` and
+#: consumers never mutate the record lists (cursors copy; pushbacks build
+#: new lists), so sweep cells that differ only in design variant share
+#: one generated trace instead of re-running the per-record synthesis.
+_TRACE_MEMO: "OrderedDict[Tuple, Tuple[List[List[TraceRecord]], int]]" = (
+    OrderedDict()
+)
+_TRACE_MEMO_MAX = 16
+
+
 def _traces_for(
     workload: str, threads: int, records: int, scale: int, seed: int
 ) -> Tuple[List[List[TraceRecord]], int]:
     """Per-thread traces and the workload's MLP, for a Table I name
-    (seed model) or a scenario name (phase DSL)."""
+    (seed model) or a scenario name (phase DSL).
+
+    Memoized on the vectorized path (bounded LRU); the scalar path
+    regenerates every time, as the original code did.
+    """
+    if not fastpath.vectorized():
+        return _generate_traces(workload, threads, records, scale, seed)
+    key = (workload, threads, records, scale, seed)
+    hit = _TRACE_MEMO.get(key)
+    if hit is not None:
+        _TRACE_MEMO.move_to_end(key)
+        return hit
+    generated = _generate_traces(workload, threads, records, scale, seed)
+    _TRACE_MEMO[key] = generated
+    while len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
+        _TRACE_MEMO.popitem(last=False)
+    return generated
+
+
+def _generate_traces(
+    workload: str, threads: int, records: int, scale: int, seed: int
+) -> Tuple[List[List[TraceRecord]], int]:
     try:
         name = canonical_workload(workload)
     except KeyError:

@@ -12,11 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.sim import fastpath
+
 #: One trace record: (instructions since previous memory op, is_write, addr).
 TraceRecord = Tuple[int, bool, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class Window:
     """A ROB-bounded batch of work handed to the core model."""
 
@@ -47,6 +51,15 @@ class ThreadContext:
         #: re-reported), so a capture sees exactly the consumed stream in
         #: order.  ``python -m repro trace capture`` installs this.
         self.on_fetch: Optional[callable] = None
+        #: Vectorized window plan (lazy): ``_plan[p]`` is the record count
+        #: of the ROB/MSHR window starting at trace position ``p`` and
+        #: ``_cum[i]`` the total gap instructions of records ``0..i-1``,
+        #: both computed for the whole trace in one numpy pass so each
+        #: ``next_window`` is two list lookups and a slice.
+        self._plan: Optional[List[int]] = None
+        self._cum: Optional[List[int]] = None
+        self._plan_key: Optional[Tuple[int, int]] = None
+        self._vectorized = fastpath.vectorized()
 
     @property
     def done(self) -> bool:
@@ -82,7 +95,20 @@ class ThreadContext:
         Returns None when the trace is exhausted.  At least one record is
         always included so a record whose gap exceeds the ROB still makes
         progress.
+
+        The vectorized path slices a whole window out of the trace with
+        one searchsorted over the gap prefix sums instead of a
+        per-record Python loop; it yields byte-identical windows and is
+        skipped whenever per-record state is live (a replay record, a
+        pushback from a squash, or a capture tap).
         """
+        if (
+            self._vectorized
+            and self.replay is None
+            and not self._pushback
+            and self.on_fetch is None
+        ):
+            return self._next_window_batched(max_instructions, max_ops)
         window = Window(instructions=0)
         while len(window.ops) < max_ops:
             record = self._next_record()
@@ -98,6 +124,55 @@ class ThreadContext:
         if not window.ops and window.instructions == 0:
             return None
         return window
+
+    def _next_window_batched(
+        self, max_instructions: int, max_ops: int
+    ) -> Optional[Window]:
+        """O(1) window fetch from the precomputed vectorized plan.
+
+        The plan fixes, for *every* trace position, how many records the
+        scalar loop would take from there, so a window is two list
+        lookups and one slice regardless of where a squash left the
+        cursor.
+        """
+        pos = self.pos
+        trace = self.trace
+        if pos >= len(trace):
+            return None
+        if self._plan_key != (max_instructions, max_ops):
+            self._build_plan(max_instructions, max_ops)
+        end = pos + self._plan[pos]
+        cum = self._cum
+        self.pos = end
+        return Window(
+            instructions=cum[end] - cum[pos],
+            ops=list(trace[pos:end]),
+        )
+
+    def _build_plan(self, max_instructions: int, max_ops: int) -> None:
+        """One numpy pass over the whole trace.
+
+        With ``G`` the gap prefix sums, record ``j`` fits a window
+        starting at ``p`` exactly when ``G[j+1] - G[p] <=
+        max_instructions`` (the scalar loop's budget check), so the
+        unclamped window length at every position is one vectorized
+        ``searchsorted(side="right")``; clamping to ``[1, max_ops]``
+        mirrors the at-least-one-record rule and the MSHR bound.  The
+        results are kept as plain Python lists: per-window costs stay
+        numpy-free and no ``np.int64`` can leak into stats accounting.
+        """
+        n = len(self.trace)
+        gaps = np.fromiter((r[0] for r in self.trace), dtype=np.int64, count=n)
+        cum = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(gaps, out=cum[1:])
+        fit = (
+            np.searchsorted(cum, cum[:n] + max_instructions, side="right")
+            - 1
+            - np.arange(n, dtype=np.int64)
+        )
+        self._plan = np.clip(fit, 1, max_ops).tolist()
+        self._cum = cum.tolist()
+        self._plan_key = (max_instructions, max_ops)
 
     def squash_after(self, index: int, window: Window) -> TraceRecord:
         """Context switch at the ``index``-th op of ``window``: that op is

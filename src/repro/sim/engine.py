@@ -13,6 +13,18 @@ import heapq
 import warnings
 from typing import Callable, List, Optional, Tuple
 
+from repro.sim import fastpath
+
+#: Process-wide count of events executed by every :class:`Engine` in this
+#: process.  ``repro.bench`` samples it around a run to report events/sec;
+#: it is never reset (callers diff two samples).
+EVENTS_PROCESSED = 0
+
+
+def events_processed() -> int:
+    """Total events executed by all engines in this process so far."""
+    return EVENTS_PROCESSED
+
 
 class PastEventWarning(RuntimeWarning):
     """:meth:`Engine.schedule_at` was handed a time in the past (clamped).
@@ -43,6 +55,8 @@ class Engine:
         self.past_clamps = 0
         #: ``(when, now)`` of the most recent clamp, or None.
         self.last_past_clamp: Optional[Tuple[float, float]] = None
+        #: Events executed by this engine across all :meth:`run` calls.
+        self.processed = 0
 
     @property
     def now(self) -> float:
@@ -95,18 +109,69 @@ class Engine:
         """Process events until the queue drains or ``until`` is reached.
 
         Returns the simulation time when the loop exited.
+
+        The vectorized path coalesces same-epoch events: the clock is
+        advanced once per distinct timestamp and every event queued for
+        that instant drains in one inner loop, still strictly in
+        insertion (seq) order -- new events scheduled *for the current
+        instant* by a running callback join the same batch after every
+        older same-time event, exactly as the scalar loop orders them.
+        """
+        if fastpath.vectorized():
+            return self._run_batched(until)
+        return self._run_scalar(until)
+
+    def _run_scalar(self, until: Optional[float]) -> float:
+        """Reference event loop: one heap pop per event."""
+        self._stopped = False
+        queue = self._queue
+        processed = 0
+        try:
+            while queue and not self._stopped:
+                when, _seq, callback = queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(queue)
+                self._now = when
+                processed += 1
+                callback()
+        finally:
+            self._count(processed)
+        return self._now
+
+    def _run_batched(self, until: Optional[float]) -> float:
+        """Same-epoch coalescing loop (byte-identical event order).
+
+        Scheduling can never produce an event earlier than ``now`` (both
+        :meth:`schedule` and :meth:`schedule_at` clamp), so while the
+        clock sits at one timestamp the heap minimum stays >= that
+        timestamp and popping every head with an equal timestamp yields
+        the exact global (time, seq) order of the scalar loop.
         """
         self._stopped = False
         queue = self._queue
-        while queue and not self._stopped:
-            when, _seq, callback = queue[0]
-            if until is not None and when > until:
-                self._now = until
-                break
-            heapq.heappop(queue)
-            self._now = when
-            callback()
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while queue and not self._stopped:
+                when = queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self._now = when
+                while queue and queue[0][0] == when and not self._stopped:
+                    callback = pop(queue)[2]
+                    processed += 1
+                    callback()
+        finally:
+            self._count(processed)
         return self._now
+
+    def _count(self, processed: int) -> None:
+        self.processed += processed
+        global EVENTS_PROCESSED
+        EVENTS_PROCESSED += processed
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""

@@ -1,0 +1,68 @@
+"""Simulation hot-path mode switch: vectorized vs. scalar.
+
+The vectorized hot path (numpy-batched window building, same-epoch event
+coalescing, lazy controller-MSHR bookkeeping, trace memoization) is
+**byte-identical** to the original per-record scalar path -- the golden
+fidelity suites pin this -- but 3-5x faster on the figure drivers.  The
+scalar path is kept both as the reference implementation and as the
+honest baseline ``python -m repro bench`` measures speedups against.
+
+Mode selection:
+
+* ``REPRO_SIM_PATH=vector`` (the default) enables every fast path;
+* ``REPRO_SIM_PATH=scalar`` runs the original per-record code;
+* tests pin a mode with the :func:`forced_mode` context manager.
+
+The mode is read once per :class:`~repro.sim.system.System` (and once
+per trace-memo lookup), so flipping the environment variable mid-run
+does not tear a simulation between the two paths.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+VECTOR = "vector"
+SCALAR = "scalar"
+_MODES = (VECTOR, SCALAR)
+
+#: Test override installed by :func:`forced_mode`; beats the environment.
+_forced: Optional[str] = None
+
+
+def mode() -> str:
+    """The active hot-path mode (``"vector"`` or ``"scalar"``)."""
+    if _forced is not None:
+        return _forced
+    value = os.environ.get("REPRO_SIM_PATH", VECTOR).strip().lower()
+    if value not in _MODES:
+        raise ValueError(
+            f"REPRO_SIM_PATH={value!r} is not a simulation path; "
+            f"expected one of {_MODES}"
+        )
+    return value
+
+
+def vectorized() -> bool:
+    """True when the vectorized fast paths are enabled."""
+    return mode() == VECTOR
+
+
+@contextmanager
+def forced_mode(value: str) -> Iterator[None]:
+    """Pin the hot-path mode for the duration of a ``with`` block.
+
+    Used by the golden-identity tests and the bench harness to run the
+    same cell through both paths regardless of the environment.
+    """
+    if value not in _MODES:
+        raise ValueError(f"unknown simulation path {value!r}; expected {_MODES}")
+    global _forced
+    previous = _forced
+    _forced = value
+    try:
+        yield
+    finally:
+        _forced = previous

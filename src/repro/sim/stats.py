@@ -41,22 +41,35 @@ class LatencyHistogram:
 
     BUCKETS_PER_DECADE = 10
 
+    #: Device latencies are heavily quantised (fixed DRAM load-to-use,
+    #: per-tier flash read points), so the same float recurs millions of
+    #: times; memoising its bucket skips the ``log10`` on every repeat.
+    _BUCKET_CACHE_MAX = 4096
+
     def __init__(self) -> None:
         self._counts: Dict[int, int] = {}
         self._total = 0
         self._sum = 0.0
         self._max = 0.0
         self._min = math.inf
+        self._bucket_cache: Dict[float, int] = {}
 
     def record(self, latency_ns: float) -> None:
         if latency_ns < 1.0:
             latency_ns = 1.0
-        bucket = int(math.log10(latency_ns) * self.BUCKETS_PER_DECADE)
+        cache = self._bucket_cache
+        bucket = cache.get(latency_ns)
+        if bucket is None:
+            bucket = int(math.log10(latency_ns) * self.BUCKETS_PER_DECADE)
+            if len(cache) < self._BUCKET_CACHE_MAX:
+                cache[latency_ns] = bucket
         self._counts[bucket] = self._counts.get(bucket, 0) + 1
         self._total += 1
         self._sum += latency_ns
-        self._max = max(self._max, latency_ns)
-        self._min = min(self._min, latency_ns)
+        if latency_ns > self._max:
+            self._max = latency_ns
+        if latency_ns < self._min:
+            self._min = latency_ns
 
     @property
     def count(self) -> int:

@@ -29,6 +29,7 @@ from repro.cxl.protocol import M2SOpcode, MemRequest
 from repro.host.page_table import PageTable
 from repro.host.scheduler import Scheduler
 from repro.host.threads import ThreadContext
+from repro.sim import fastpath
 from repro.sim.engine import Engine
 from repro.sim.stats import HOST_DRAM, SimStats
 from repro.ssd.base_controller import BaseCSSDController
@@ -55,12 +56,35 @@ class System:
         self.workload_mlp = max(1, workload_mlp)
         self.config = variant.apply(config)
         self.variant = variant
+        self._fast = fastpath.vectorized()
         self.engine = Engine()
         self.stats = SimStats()
         self.link = CXLLink(self.config.cxl, self.stats)
         self.host_dram = HostDRAM(self.config.cpu)
         self.page_table = PageTable()
         self.scheduler = Scheduler(self.config.os.t_policy, seed=self.config.seed)
+
+        # Precomputed wire timing for the fused CXL fast path: per-message
+        # byte counts and serialisation delays for the four message sizes
+        # (read/write x down/up).  ``transfer_ns`` is deterministic in the
+        # byte count, so hoisting it out of the per-access loop is exact.
+        cxl = self.config.cxl
+        fo = CXLLink.FLIT_OVERHEAD
+        self._protocol_ns = cxl.protocol_ns
+        self._wire = {
+            False: (
+                REQ_BYTES + fo,
+                cxl.transfer_ns(REQ_BYTES + fo),
+                DATA_BYTES + fo,
+                cxl.transfer_ns(DATA_BYTES + fo),
+            ),
+            True: (
+                REQ_BYTES + CACHELINE_SIZE + fo,
+                cxl.transfer_ns(REQ_BYTES + CACHELINE_SIZE + fo),
+                NDR_BYTES + fo,
+                cxl.transfer_ns(NDR_BYTES + fo),
+            ),
+        }
 
         self.controller = self._build_controller()
         self.migration: Optional[MigrationEngine] = None
@@ -160,6 +184,17 @@ class System:
                 breakdown={"host_dram": latency},
             )
 
+        if self._fast and not self.variant.astriflash:
+            # Device-latency fast path: decide promoted-vs-CXL from the
+            # raw address so neither branch materialises a MemRequest
+            # (tags are bookkeeping-only; nothing downstream consumes
+            # them).
+            page = address >> 12
+            line = (address >> 6) & 0x3F
+            if self.page_table.is_promoted(page):
+                return self._host_dram_hit(page, line, is_write, now)
+            return self._cxl_access_fast(page, line, is_write, now)
+
         request = MemRequest(
             opcode=M2SOpcode.MEM_WR if is_write else M2SOpcode.MEM_RD,
             address=address,
@@ -174,23 +209,112 @@ class System:
         page = request.page
         if self.page_table.is_promoted(page):
             # H-R/W: the page was promoted; served by host DRAM.
-            self.page_table.record_host_access(
-                page, request.line_offset, is_write, now
-            )
-            complete = self.host_dram.access(now)
-            latency = complete - now
-            self.stats.count_request(HOST_DRAM)
-            self.stats.record_amat(host_dram=latency)
-            if self.stats.enabled:
-                self.stats.promoted_hits += 1
-                if is_write:
-                    self.stats.host_lines_written += 1
-            return AccessResult(
-                complete_ns=complete,
-                request_class=HOST_DRAM,
-                breakdown={"host_dram": latency},
-            )
+            return self._host_dram_hit(page, request.line_offset, is_write, now)
+        return self._cxl_access(request, is_write, now)
 
+    def dram_window_access(
+        self, ops: Sequence[TraceRecord], now: float
+    ) -> List[float]:
+        """Batched DRAM-only window: the device-latency inner loop.
+
+        Replays ``len(ops)`` host-DRAM accesses issued at the same
+        ``now`` in one float loop, replicating :meth:`memory_access`'s
+        arithmetic and stats updates operation-for-operation (same
+        values, same order per field) without materialising a
+        :class:`MemRequest`/:class:`AccessResult` per access.  Skipping
+        the four ``+= 0.0`` AMAT component adds is exact: the sums start
+        at ``+0.0`` and ``x + 0.0 == x`` bitwise for every non-negative
+        float.  Only taken on the vectorized path.
+        """
+        stats = self.stats
+        dram = self.host_dram
+        latency_ns = dram._latency_ns
+        inc = CACHELINE_SIZE / dram._bytes_per_ns
+        free = dram._free_at
+        enabled = stats.enabled
+        counts = stats.request_counts
+        completes: List[float] = []
+        append = completes.append
+        for _gap, is_write, _addr in ops:
+            start = free if free > now else now
+            free = start + inc
+            complete = start + latency_ns
+            if enabled:
+                counts[HOST_DRAM] += 1
+                stats.amat_host_dram_ns += complete - now
+                stats.amat_accesses += 1
+                if is_write:
+                    stats.host_lines_written += 1
+                else:
+                    stats.host_lines_read += 1
+            append(complete)
+        dram._free_at = free
+        dram.accesses += len(completes)
+        return completes
+
+    def _host_dram_hit(
+        self, page: int, line: int, is_write: bool, now: float
+    ) -> AccessResult:
+        """H-R/W: the page was promoted; served by host DRAM."""
+        self.page_table.record_host_access(page, line, is_write, now)
+        complete = self.host_dram.access(now)
+        latency = complete - now
+        self.stats.count_request(HOST_DRAM)
+        self.stats.record_amat(host_dram=latency)
+        if self.stats.enabled:
+            self.stats.promoted_hits += 1
+            if is_write:
+                self.stats.host_lines_written += 1
+        return AccessResult(
+            complete_ns=complete,
+            request_class=HOST_DRAM,
+            breakdown={"host_dram": latency},
+        )
+
+    def _cxl_access_fast(
+        self, page: int, line: int, is_write: bool, now: float
+    ) -> AccessResult:
+        """:meth:`_cxl_access` with the link transfers unrolled inline.
+
+        Replays the exact arithmetic of ``CXLLink.send_downstream`` /
+        ``send_upstream`` (same operand order, hoisted constant
+        serialisation delays) and calls the controller through its
+        decoded-address entry; only taken on the vectorized path.
+        """
+        stats = self.stats
+        link = self.link
+        down_bytes, down_ser, up_bytes, up_ser = self._wire[is_write]
+        enabled = stats.enabled
+        free = link._down_free_at
+        start = free if free > now else now
+        new_free = start + down_ser
+        link._down_free_at = new_free
+        arrive_dev = new_free + self._protocol_ns
+        if enabled:
+            stats.cxl_bytes += down_bytes
+        result = self.controller.access_line(page, line, is_write, arrive_dev)
+        complete = result.complete_ns
+        arrive_host = complete + up_ser + self._protocol_ns
+        if enabled:
+            stats.cxl_bytes += up_bytes
+        protocol = (arrive_dev - now) + (arrive_host - complete)
+        if enabled:
+            stats.amat_protocol_ns += protocol
+        result.breakdown["protocol"] = protocol
+        if result.delay_hint:
+            # The SkyByte-Delay NDR races ahead of the data.
+            decision_ns = result.breakdown.get("indexing", 0.0)
+            result.hint_arrival_ns = self.link.send_upstream(
+                arrive_dev + decision_ns, NDR_BYTES
+            )
+        result.complete_ns = arrive_host
+        if not is_write and enabled:
+            stats.host_lines_read += 1
+        return result
+
+    def _cxl_access(
+        self, request: MemRequest, is_write: bool, now: float
+    ) -> AccessResult:
         # CXL path: downstream request, device access, upstream response.
         down_bytes = REQ_BYTES + (CACHELINE_SIZE if is_write else 0)
         arrive_dev = self.link.send_downstream(now, down_bytes)

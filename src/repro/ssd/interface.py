@@ -16,7 +16,7 @@ from typing import Dict, Protocol
 from repro.cxl.protocol import MemRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one cacheline access at the SSD.
 

@@ -1,0 +1,273 @@
+"""Unit tests for the speed-benchmark harness (:mod:`repro.bench`).
+
+All timing goes through an injectable clock and a fake figure registry,
+so these tests pin the *accounting* — cells/sec, events/sec,
+best-of-repeats, schema shape, comparator thresholds — without running
+a single simulation.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro import bench
+from repro.sim import engine as engine_mod
+from repro.sim import fastpath
+
+
+class FakeClock:
+    """Deterministic perf_counter: advances only when told to."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_driver(clock, cells=3, scalar_s=4.0, vector_s=1.0, events=0):
+    """A fake figure driver: reports ``cells`` via the progress callback
+    and burns fake time depending on the active simulator mode."""
+
+    def driver(records=None, jobs=None, cache=None, progress=None):
+        for _ in range(cells):
+            progress(None, "run")
+        engine_mod.EVENTS_PROCESSED += events
+        clock.advance(vector_s if fastpath.vectorized() else scalar_s)
+
+    return driver
+
+
+def test_cells_per_sec_from_fake_clock():
+    clock = FakeClock()
+    figures = {"figX": make_driver(clock, cells=3, scalar_s=4.0, vector_s=1.0)}
+    spec = bench.DriverSpec("figX", records=100, repeats=2)
+    entry = bench.measure_driver(spec, figures=figures, clock=clock)
+    assert entry["cells"] == 3
+    assert entry["wall_s"] == pytest.approx(1.0)
+    assert entry["cells_per_sec"] == pytest.approx(3.0)
+    assert entry["scalar"]["wall_s"] == pytest.approx(4.0)
+    assert entry["scalar"]["cells_per_sec"] == pytest.approx(0.75)
+    assert entry["speedup"] == pytest.approx(4.0)
+
+
+def test_events_per_sec_accounting():
+    clock = FakeClock()
+    figures = {"figX": make_driver(clock, cells=2, scalar_s=2.0, vector_s=0.5,
+                                   events=10)}
+    spec = bench.DriverSpec("figX", records=100, repeats=1)
+    entry = bench.measure_driver(spec, figures=figures, clock=clock)
+    assert entry["events"] == 10
+    assert entry["events_per_sec"] == pytest.approx(20.0)
+    assert entry["scalar"]["events"] == 10
+    assert entry["scalar"]["events_per_sec"] == pytest.approx(5.0)
+
+
+def test_best_of_repeats_takes_fastest():
+    clock = FakeClock()
+    walls = iter([5.0, 2.0, 3.0])
+
+    def driver(records=None, progress=None):
+        progress(None, "run")
+        clock.advance(next(walls) if fastpath.vectorized() else 1.0)
+
+    spec = bench.DriverSpec("figX", records=10, repeats=3)
+    entry = bench.measure_driver(spec, figures={"figX": driver}, clock=clock)
+    assert entry["wall_s"] == pytest.approx(2.0)
+
+
+def test_static_cells_fallback_for_replay_drivers():
+    clock = FakeClock()
+
+    def replay_driver(records=None):
+        clock.advance(2.0 if fastpath.vectorized() else 4.0)
+
+    spec = bench.DriverSpec("fig5ish", records=10, repeats=1, cells=16)
+    entry = bench.measure_driver(spec, figures={"fig5ish": replay_driver},
+                                 clock=clock)
+    assert entry["cells"] == 16
+    assert entry["cells_per_sec"] == pytest.approx(8.0)
+
+
+def test_driver_without_cell_accounting_rejected():
+    def opaque(records=None):
+        pass
+
+    spec = bench.DriverSpec("opaque", records=10)
+    with pytest.raises(bench.BenchError):
+        bench.measure_driver(spec, figures={"opaque": opaque},
+                             clock=FakeClock())
+
+
+def test_unknown_driver_rejected():
+    with pytest.raises(bench.BenchError):
+        bench.measure_driver(bench.DriverSpec("nope", records=10),
+                             figures={}, clock=FakeClock())
+
+
+def _fake_payload(tmp_path, speedups):
+    """Run a fake bench with one driver per (name, speedup) pair."""
+    clock = FakeClock()
+    figures = {
+        name: make_driver(clock, cells=2, scalar_s=s, vector_s=1.0)
+        for name, s in speedups.items()
+    }
+    specs = [bench.DriverSpec(name, records=50, repeats=2)
+             for name in speedups]
+    return bench.run_bench(specs, figures=figures, clock=clock)
+
+
+def test_schema_round_trip(tmp_path):
+    payload = _fake_payload(tmp_path, {"figA": 4.0, "figB": 2.0})
+    path = tmp_path / "BENCH_speed.json"
+    bench.write_json(path, payload)
+    loaded = bench.load_json(path)
+    assert loaded == json.loads(json.dumps(payload))  # plain-JSON clean
+    assert loaded["schema"] == bench.SCHEMA_VERSION
+    assert loaded["kind"] == "speed"
+    assert loaded["backend"] == "serial"
+    for entry in loaded["drivers"].values():
+        for key in ("cells", "wall_s", "cells_per_sec", "events",
+                    "events_per_sec", "scalar", "speedup", "records",
+                    "repeats"):
+            assert key in entry
+    overall = loaded["overall"]
+    assert overall["drivers"] == 2
+    assert overall["speedup_min"] == pytest.approx(2.0)
+    assert overall["speedup_geomean"] == pytest.approx((4.0 * 2.0) ** 0.5)
+
+
+def test_compare_passes_within_threshold(tmp_path):
+    baseline = _fake_payload(tmp_path, {"figA": 4.0})
+    current = _fake_payload(tmp_path, {"figA": 3.2})  # -20% > floor
+    assert bench.compare(current, baseline, threshold=0.25) == []
+
+
+def test_compare_fails_beyond_threshold(tmp_path):
+    baseline = _fake_payload(tmp_path, {"figA": 4.0})
+    current = _fake_payload(tmp_path, {"figA": 2.9})  # below 4.0 * 0.75
+    problems = bench.compare(current, baseline, threshold=0.25)
+    assert len(problems) == 1
+    assert "figA" in problems[0]
+
+
+def test_compare_flags_missing_driver(tmp_path):
+    baseline = _fake_payload(tmp_path, {"figA": 4.0, "figB": 4.0})
+    current = _fake_payload(tmp_path, {"figA": 4.0})
+    problems = bench.compare(current, baseline)
+    assert problems == ["figB: missing from current bench run"]
+
+
+def test_compare_ignores_new_drivers(tmp_path):
+    baseline = _fake_payload(tmp_path, {"figA": 4.0})
+    current = _fake_payload(tmp_path, {"figA": 4.0, "figNew": 1.0})
+    assert bench.compare(current, baseline) == []
+
+
+def _parse(tmp_path, *extra):
+    parser = argparse.ArgumentParser()
+    bench.add_arguments(parser)
+    return parser.parse_args([
+        "--quick",
+        "--out", str(tmp_path / "BENCH_speed.json"),
+        "--baseline", str(tmp_path / "baseline.json"),
+        *extra,
+    ])
+
+
+def test_cli_update_then_check_gate(tmp_path, monkeypatch, capsys):
+    """The documented regen flow: --update-baseline commits a baseline,
+    --check passes against it, and a regression then fails the gate."""
+    monkeypatch.setattr(
+        bench, "QUICK_SPECS",
+        (bench.DriverSpec("figA", records=50, repeats=2),),
+    )
+    clock = FakeClock()
+    figures = {"figA": make_driver(clock, scalar_s=4.0, vector_s=1.0)}
+
+    args = _parse(tmp_path, "--update-baseline")
+    assert bench.run_from_args(args, figures=figures, clock=clock) == 0
+    assert (tmp_path / "baseline.json").exists()
+    assert (tmp_path / "BENCH_speed.json").exists()
+
+    args = _parse(tmp_path, "--check")
+    assert bench.run_from_args(args, figures=figures, clock=clock) == 0
+
+    slow = {"figA": make_driver(clock, scalar_s=4.0, vector_s=2.0)}
+    args = _parse(tmp_path, "--check")
+    assert bench.run_from_args(args, figures=slow, clock=clock) == 1
+    assert "regression" in capsys.readouterr().err
+
+
+def test_cli_check_without_baseline_fails(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        bench, "QUICK_SPECS",
+        (bench.DriverSpec("figA", records=50, repeats=1),),
+    )
+    clock = FakeClock()
+    figures = {"figA": make_driver(clock)}
+    args = _parse(tmp_path, "--check")
+    assert bench.run_from_args(args, figures=figures, clock=clock) == 1
+
+
+def test_cli_env_update_flow(tmp_path, monkeypatch):
+    """REPRO_UPDATE_SPEED_BASELINE=1 mirrors REPRO_UPDATE_GOLDEN."""
+    monkeypatch.setattr(
+        bench, "QUICK_SPECS",
+        (bench.DriverSpec("figA", records=50, repeats=1),),
+    )
+    monkeypatch.setenv(bench.UPDATE_ENV, "1")
+    clock = FakeClock()
+    figures = {"figA": make_driver(clock)}
+    args = _parse(tmp_path)
+    assert bench.run_from_args(args, figures=figures, clock=clock) == 0
+    assert (tmp_path / "baseline.json").exists()
+
+
+def test_cli_names_filter_and_repeats(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        bench, "QUICK_SPECS",
+        (bench.DriverSpec("figA", records=50, repeats=2),
+         bench.DriverSpec("figB", records=50, repeats=2)),
+    )
+    clock = FakeClock()
+    calls = {"n": 0}
+
+    def driver(records=None, progress=None):
+        calls["n"] += 1
+        progress(None, "run")
+        clock.advance(1.0)
+
+    args = _parse(tmp_path, "--names", "figA", "--repeats", "5")
+    assert bench.run_from_args(args, figures={"figA": driver,
+                                              "figB": driver},
+                               clock=clock) == 0
+    # 5 repeats x 2 modes, figB untouched.
+    assert calls["n"] == 10
+    payload = bench.load_json(tmp_path / "BENCH_speed.json")
+    assert list(payload["drivers"]) == ["figA"]
+    assert payload["drivers"]["figA"]["repeats"] == 5
+
+
+def test_cli_unknown_name_rejected(tmp_path):
+    args = _parse(tmp_path, "--names", "not-a-driver")
+    assert bench.run_from_args(args, figures={}, clock=FakeClock()) == 2
+
+
+def test_quick_specs_are_a_subset_of_full():
+    quick = {s.name for s in bench.QUICK_SPECS}
+    full = {s.name for s in bench.FULL_SPECS}
+    assert quick <= full
+
+
+def test_committed_baseline_matches_quick_specs():
+    """The committed baseline must cover exactly the quick drivers CI
+    runs, or the missing-driver check would misfire."""
+    baseline = bench.load_json(bench.DEFAULT_BASELINE)
+    assert set(baseline["drivers"]) == {s.name for s in bench.QUICK_SPECS}
+    for entry in baseline["drivers"].values():
+        assert entry["speedup"] > 1.0

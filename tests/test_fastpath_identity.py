@@ -1,0 +1,61 @@
+"""The vectorized hot path must be an *exact* optimization.
+
+Every fast path behind :mod:`repro.sim.fastpath` — same-epoch event
+coalescing, window-plan precomputation, the batched DRAM-only inner
+loop, the fused CXL access, lazy MSHR retirement, and the trace /
+precondition memos — claims bit-identical results to the scalar
+reference.  This suite pins that claim: each Table I scenario simulates
+under both forced modes and the canonical ``RunResult.to_dict()`` JSON
+must match byte for byte.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_workload
+from repro.scenarios import scenario_names
+from repro.sim import fastpath
+
+TAB1 = sorted(n for n in scenario_names() if n.startswith("tab1-"))
+RECORDS = 300
+
+
+def _canonical(workload, variant):
+    result = run_workload(workload, variant, records_per_thread=RECORDS,
+                          seed=42)
+    return json.dumps(result.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _both_modes(workload, variant):
+    with fastpath.forced_mode("scalar"):
+        scalar = _canonical(workload, variant)
+    with fastpath.forced_mode("vector"):
+        vector = _canonical(workload, variant)
+    return scalar, vector
+
+
+def test_all_seven_table1_scenarios_present():
+    assert len(TAB1) == 7, TAB1
+
+
+@pytest.mark.parametrize("scenario", TAB1)
+def test_vectorized_identity_base_cssd(scenario):
+    scalar, vector = _both_modes(scenario, "Base-CSSD")
+    assert scalar == vector, f"{scenario}: vectorized run diverged"
+
+
+@pytest.mark.parametrize("scenario", TAB1)
+def test_vectorized_identity_dram_only(scenario):
+    """DRAM-Only exercises the batched window inner loop."""
+    scalar, vector = _both_modes(scenario, "DRAM-Only")
+    assert scalar == vector, f"{scenario}: vectorized run diverged"
+
+
+@pytest.mark.parametrize("scenario", ["tab1-ycsb", "tab1-srad"])
+def test_vectorized_identity_skybyte_full(scenario):
+    """SkyByte-Full exercises the device trigger, write log, and lazy
+    MSHR retirement on top of the fused CXL path."""
+    scalar, vector = _both_modes(scenario, "SkyByte-Full")
+    assert scalar == vector, f"{scenario}: vectorized run diverged"
