@@ -47,6 +47,17 @@ Subcommands
 ``cache``
     Inspect (``stats``), bound (``prune``), locate (``path``) or empty
     (``clear``) the result cache.
+``serve``
+    Run the always-on sweep coordinator: an HTTP/JSON job API backed by
+    a persistent sqlite queue and a sqlite-indexed result cache.
+    Submitted sweep/scenario/report jobs survive coordinator restarts
+    and are scheduled priority-first with fair share across submitters
+    (see ``docs/DISTRIBUTED.md``).
+``job``
+    Client verbs for a running ``serve`` coordinator: ``submit``,
+    ``list``, ``show``, ``events`` (``--follow`` streams NDJSON),
+    ``result``, ``wait``, ``cancel``.  The server address comes from
+    ``--server`` or ``REPRO_SERVICE``.
 
 Trace length per thread follows ``REPRO_RECORDS`` unless ``--records``
 is given; ``REPRO_JOBS`` sets the default worker count;
@@ -66,6 +77,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 import traceback
 from pathlib import Path
@@ -723,6 +735,128 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 2
 
 
+#: Default ``repro serve`` bind / ``repro job`` dial address.
+DEFAULT_SERVICE_ADDR = "127.0.0.1:8642"
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on coordinator until interrupted."""
+    from repro.service.api import ServiceAPI
+    from repro.service.coordinator import SweepService
+
+    host, _, port = (args.http or DEFAULT_SERVICE_ADDR).rpartition(":")
+    host = host or "127.0.0.1"
+    service = SweepService(
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        workers=_split_names(args.workers),
+        listen=args.listen,
+        registry=args.registry,
+        jobs=args.jobs,
+        policy=_policy_from_args(args),
+        max_active=args.max_active,
+        log=sys.stdout,
+    )
+    service.start()
+    api = ServiceAPI(service, host=host, port=int(port))
+    print(f"serve: listening on http://{api.address[0]}:{api.address[1]} "
+          f"(backend: {service.backend_label}, state: {service.state_dir})",
+          flush=True)
+    try:
+        api.serve_forever()
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down", flush=True)
+    finally:
+        api.close()
+        service.close()
+    return 0
+
+
+def cmd_job(args: argparse.Namespace) -> int:
+    """Talk to a running ``repro serve`` coordinator."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    server = args.server or os.environ.get("REPRO_SERVICE",
+                                           DEFAULT_SERVICE_ADDR)
+    client = ServiceClient(server)
+    try:
+        return _run_job_verb(client, args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_job_verb(client: object, args: argparse.Namespace) -> int:
+    verb = args.job_cmd
+    if verb == "submit":
+        spec: Dict[str, object] = {}
+        if args.kind == "report":
+            if args.figures:
+                spec["figures"] = _split_names(args.figures)
+        elif args.kind == "scenario":
+            spec["names"] = _split_names(args.names) or []
+        if args.workloads:
+            spec["workloads"] = _split_names(args.workloads)
+        if args.kind == "sweep" and args.scenario:
+            spec["scenarios"] = _split_names(args.scenario)
+        if args.variants:
+            spec["variants"] = _split_names(args.variants)
+        for knob in ("records", "threads", "scale", "timing", "seed", "jobs"):
+            value = getattr(args, knob, None)
+            if value is not None:
+                spec[knob] = value
+        submitter = (args.submitter or os.environ.get("USER")
+                     or "anonymous")
+        job = client.submit(args.kind, spec, submitter=submitter,
+                            priority=args.priority)
+        print(f"job {job['id']} ({job['kind']}) {job['state']}")
+        if not args.follow:
+            return 0
+        for event in client.stream(job["id"]):
+            print(json.dumps(event), flush=True)
+        final = client.job(job["id"])
+        return 0 if final["state"] == "done" else 1
+    if verb == "list":
+        jobs = client.jobs(state=args.state, submitter=args.submitter)
+        for job in jobs:
+            print(f"{job['id']:>5}  {job['state']:<9} {job['kind']:<8} "
+                  f"prio={job['priority']:<3} {job['submitter']}")
+        if not jobs:
+            print("no jobs")
+        return 0
+    if verb == "show":
+        print(json.dumps(client.job(args.id), indent=2))
+        return 0
+    if verb == "events":
+        if args.follow:
+            for event in client.stream(args.id, after=args.after):
+                print(json.dumps(event), flush=True)
+        else:
+            for event in client.events(args.id, after=args.after):
+                print(json.dumps(event))
+        return 0
+    if verb == "result":
+        payload = client.result(args.id)
+        if args.output:
+            Path(args.output).write_text(json.dumps(payload, indent=2))
+            print(f"wrote {args.output}")
+        else:
+            print(json.dumps(payload, indent=2))
+        return 0
+    if verb == "wait":
+        job = client.wait(args.id, timeout=args.timeout)
+        print(f"job {job['id']} {job['state']}")
+        if job["state"] == "failed" and job.get("error"):
+            print(job["error"], file=sys.stderr)
+        return 0 if job["state"] == "done" else 1
+    if verb == "cancel":
+        outcome = client.cancel(args.id)
+        print(f"job {outcome['id']} {outcome['state']}")
+        return 0
+    raise AssertionError(f"unhandled job verb {verb!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -919,6 +1053,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_mod.add_arguments(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on sweep coordinator (HTTP job API + "
+             "persistent sqlite queue)",
+    )
+    p_serve.add_argument("--http", default=None, metavar="[HOST:]PORT",
+                         help=f"HTTP API bind address (default "
+                              f"{DEFAULT_SERVICE_ADDR}; port 0 picks a free "
+                              f"port, printed on stdout)")
+    p_serve.add_argument("--state-dir", default=".repro_service",
+                         help="job queue + artifacts directory "
+                              "(default .repro_service)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="result cache directory (sqlite-indexed)")
+    p_serve.add_argument("--cache-max-bytes", type=int, default=None)
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="local worker processes per sweep "
+                              "(default REPRO_JOBS or 1)")
+    p_serve.add_argument("--workers", action="append", default=None,
+                         metavar="HOST:PORT,...",
+                         help="distributed worker addresses to dial")
+    p_serve.add_argument("--listen", default=None, metavar="[HOST:]PORT",
+                         help="accept dial-in workers "
+                              "(repro worker --connect)")
+    p_serve.add_argument("--registry", default=None, metavar="HOST:PORT",
+                         help="discover workers through a registry")
+    p_serve.add_argument("--max-active", type=int, default=1,
+                         help="jobs run concurrently (default 1)")
+    p_serve.add_argument("--cell-timeout", type=float, default=None)
+    p_serve.add_argument("--retry-budget", type=int, default=None)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_job = sub.add_parser(
+        "job", help="submit to / inspect a running serve coordinator"
+    )
+    p_job.add_argument("--server", default=None, metavar="URL",
+                       help=f"coordinator address (default REPRO_SERVICE "
+                            f"or {DEFAULT_SERVICE_ADDR})")
+    job_sub = p_job.add_subparsers(dest="job_cmd", required=True)
+
+    p_submit = job_sub.add_parser("submit", help="queue a job")
+    p_submit.add_argument("kind", nargs="?", default="sweep",
+                          choices=["sweep", "scenario", "report"])
+    p_submit.add_argument("names", nargs="*", default=None,
+                          help="scenario names (kind=scenario)")
+    p_submit.add_argument("--workloads", action="append", default=None)
+    p_submit.add_argument("--scenario", action="append", default=None,
+                          help="scenarios to sweep alongside workloads "
+                               "(kind=sweep)")
+    p_submit.add_argument("--variants", action="append", default=None)
+    p_submit.add_argument("--figures", action="append", default=None,
+                          help="figure ids (kind=report; default all)")
+    p_submit.add_argument("--records", type=int, default=None)
+    p_submit.add_argument("--threads", type=int, default=None)
+    p_submit.add_argument("--scale", type=int, default=None)
+    p_submit.add_argument("--timing", default=None,
+                          choices=["ULL", "ULL2", "SLC", "MLC"])
+    p_submit.add_argument("--seed", type=int, default=None)
+    p_submit.add_argument("--jobs", type=int, default=None)
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs first (default 0)")
+    p_submit.add_argument("--submitter", default=None,
+                          help="fair-share identity (default $USER)")
+    p_submit.add_argument("--follow", action="store_true",
+                          help="stream events until the job finishes")
+    p_submit.set_defaults(func=cmd_job)
+
+    p_jlist = job_sub.add_parser("list", help="list jobs")
+    p_jlist.add_argument("--state", default=None,
+                         choices=["queued", "running", "done", "failed",
+                                  "cancelled"])
+    p_jlist.add_argument("--submitter", default=None)
+    p_jlist.set_defaults(func=cmd_job)
+
+    p_jshow = job_sub.add_parser("show", help="print one job as JSON")
+    p_jshow.add_argument("id", type=int)
+    p_jshow.set_defaults(func=cmd_job)
+
+    p_jev = job_sub.add_parser("events", help="print a job's event log")
+    p_jev.add_argument("id", type=int)
+    p_jev.add_argument("--after", type=int, default=0,
+                       help="only events with seq > N")
+    p_jev.add_argument("--follow", action="store_true",
+                       help="stream NDJSON until the job finishes")
+    p_jev.set_defaults(func=cmd_job)
+
+    p_jres = job_sub.add_parser("result", help="fetch a done job's payload")
+    p_jres.add_argument("id", type=int)
+    p_jres.add_argument("--output", "-o", default=None)
+    p_jres.set_defaults(func=cmd_job)
+
+    p_jwait = job_sub.add_parser("wait", help="block until a job finishes")
+    p_jwait.add_argument("id", type=int)
+    p_jwait.add_argument("--timeout", type=float, default=3600.0)
+    p_jwait.set_defaults(func=cmd_job)
+
+    p_jcancel = job_sub.add_parser("cancel", help="cancel a job")
+    p_jcancel.add_argument("id", type=int)
+    p_jcancel.set_defaults(func=cmd_job)
 
     return parser
 

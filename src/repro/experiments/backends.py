@@ -293,12 +293,14 @@ class DistributedBackend(SweepBackend):
     * ``listen="host:port"`` -- the coordinator binds a port (0 picks a
       free one; see :attr:`address`) and workers dial in with
       ``--connect``;
-    * ``registry="host:port"`` -- the coordinator polls a
-      :class:`~repro.experiments.registry.Registry` during the sweep
-      and dials every live announced worker it is not yet connected
-      to, so the fleet can grow and shrink mid-sweep (elastic
-      autoscaling: a late-joining worker immediately picks up queued
-      cells).
+    * ``registry="host:port"`` -- the coordinator subscribes to a
+      :class:`~repro.experiments.registry.Registry` (``watch`` push
+      dispatch; 1 s polling against older registries) and dials every
+      live announced worker it is not yet connected to, so the fleet
+      can grow and shrink mid-sweep (elastic autoscaling: a
+      late-joining worker is dialed the moment it announces, and with
+      ``listen=`` set it is also handed this coordinator's address as
+      a work-steal hint so it can dial in itself).
 
     One connection thread per worker keeps a single cell in flight on
     that worker.  Failures are governed by the per-cell
@@ -323,7 +325,9 @@ class DistributedBackend(SweepBackend):
 
     name = "distributed"
 
-    #: Seconds between registry polls while a sweep is running.
+    #: Seconds between registry polls -- the fallback cadence used only
+    #: against registries that do not support ``watch`` push dispatch,
+    #: and the reconnect pacing when the registry is unreachable.
     REGISTRY_POLL_INTERVAL = 1.0
 
     #: Seconds before re-attempting to dial an address that did not
@@ -445,6 +449,16 @@ class DistributedBackend(SweepBackend):
                 try:
                     reply = recv_msg(rfile)
                 except socket.timeout:
+                    # Tell the worker to abort the cell before hanging
+                    # up: without this the worker keeps simulating the
+                    # abandoned cell to completion, burning its slot
+                    # while the retry runs elsewhere.  Best-effort --
+                    # the retry accounting below owns correctness.
+                    try:
+                        send_msg(sock, {"type": "cancel", "id": seq,
+                                        "key": key})
+                    except OSError:
+                        pass
                     raise ConnectionError(
                         f"worker {label} exceeded the "
                         f"{self.policy.cell_timeout:g}s cell timeout"
@@ -519,8 +533,18 @@ class DistributedBackend(SweepBackend):
             down_reasons.append(reason)
             del down_reasons[:-self.MAX_DOWN_REASONS]
 
-        def registry_poll_loop() -> None:
-            """Dial live registered workers, off the event thread.
+        def registry_loop() -> None:
+            """Dial registered workers, off the event thread.
+
+            Preferred path: a ``watch`` subscription -- the registry
+            pushes a fresh workers list on every membership change, so
+            a worker joining mid-sweep is dialed within milliseconds
+            instead of on the next poll tick.  When listening
+            (``listen=`` + ``registry=`` together), the subscription
+            advertises this coordinator's dial-in address as a
+            work-steal hint, letting joining workers dial us directly.
+            A registry that rejects ``watch`` (an older build) drops
+            this loop back to 1 s polling.
 
             Dials block for up to ``connect_timeout``; doing them here
             keeps the run loop free to process results while a dead
@@ -530,13 +554,8 @@ class DistributedBackend(SweepBackend):
             from repro.experiments.registry import fetch_workers
 
             last_attempt: Dict[str, float] = {}
-            while not stop.is_set():
-                try:
-                    addresses = fetch_workers(self.registry, timeout=5.0)
-                except (OSError, RuntimeError) as exc:
-                    note(f"registry {self.registry[0]}:{self.registry[1]}: "
-                         f"{exc}")
-                    addresses = []
+
+            def dial_new(addresses: Sequence[str]) -> None:
                 for address in addresses:
                     if stop.is_set():
                         return
@@ -557,6 +576,82 @@ class DistributedBackend(SweepBackend):
                         note(f"dial {label}: {exc}")
                         continue
                     start_conn(sock, label)
+
+            def watch_once() -> bool:
+                """One watch subscription; False = fall back to polling.
+
+                The socket is read with a plain 1 s ``recv`` timeout
+                into a hand-rolled line buffer -- no buffered file
+                wrapper, whose ``readline`` would lose partial lines on
+                timeout and strand coalesced pushes in its buffer.  The
+                timeout tick doubles as the re-dial cadence for
+                announced workers that refused an earlier dial.
+                """
+                wsock = socket.create_connection(self.registry, timeout=5.0)
+                try:
+                    wsock.settimeout(5.0)
+                    subscribe = {"type": "watch",
+                                 "version": PROTOCOL_VERSION}
+                    if self.address is not None:
+                        subscribe["steal"] = "%s:%d" % self.address
+                    send_msg(wsock, subscribe)
+                    buf = b""
+                    known: List[str] = []
+                    subscribed = False
+                    while not stop.is_set():
+                        newline = buf.find(b"\n")
+                        if newline >= 0:
+                            line, buf = buf[:newline], buf[newline + 1:]
+                            message = json.loads(line)
+                            if not subscribed:
+                                if not message.get("ok"):
+                                    return False  # old registry: poll
+                                subscribed = True
+                                wsock.settimeout(1.0)
+                            known = [str(w) for w in
+                                     message.get("workers", [])]
+                            dial_new(known)
+                            continue
+                        try:
+                            chunk = wsock.recv(4096)
+                        except socket.timeout:
+                            dial_new(known)  # backed-off re-dials
+                            continue
+                        if not chunk:
+                            return True  # registry gone: resubscribe
+                        buf += chunk
+                    return True
+                finally:
+                    try:
+                        wsock.close()
+                    except OSError:
+                        pass
+
+            watch = True
+            while not stop.is_set():
+                if watch:
+                    try:
+                        watch = watch_once()
+                        if not watch:
+                            note(f"registry {self.registry[0]}:"
+                                 f"{self.registry[1]} has no watch "
+                                 f"support, falling back to polling")
+                        elif stop.wait(0.2):  # pace resubscribe spins
+                            return
+                        continue
+                    except (OSError, ValueError) as exc:
+                        note(f"registry {self.registry[0]}:"
+                             f"{self.registry[1]}: {exc}")
+                        if stop.wait(self.REGISTRY_POLL_INTERVAL):
+                            return
+                        continue
+                try:
+                    addresses = fetch_workers(self.registry, timeout=5.0)
+                except (OSError, RuntimeError) as exc:
+                    note(f"registry {self.registry[0]}:{self.registry[1]}: "
+                         f"{exc}")
+                    addresses = []
+                dial_new(addresses)
                 if stop.wait(self.REGISTRY_POLL_INTERVAL):
                     return
 
@@ -575,7 +670,7 @@ class DistributedBackend(SweepBackend):
                 accept_thread.start()
             if self.registry is not None:
                 registry_thread = threading.Thread(
-                    target=registry_poll_loop, name="sweep-registry",
+                    target=registry_loop, name="sweep-registry",
                     daemon=True,
                 )
                 registry_thread.start()

@@ -53,6 +53,7 @@ import json
 import os
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -238,6 +239,15 @@ class ResultCache:
     INDEX_NAME = "index.json"
     LOCK_NAME = "index.lock"
 
+    #: Fallback lockfile (O_CREAT|O_EXCL) used when ``fcntl`` is
+    #: unavailable; created per critical section, removed on release.
+    LOCKFILE_NAME = "index.lockfile"
+
+    #: Seconds after which an abandoned fallback lockfile is broken.  A
+    #: crashed holder cannot release it (unlike a flock, which the OS
+    #: drops with the process), so waiters must eventually steal it.
+    LOCK_STALE_SECONDS = 30.0
+
     def __init__(
         self,
         root: Optional[Union[str, Path]] = None,
@@ -260,17 +270,49 @@ class ResultCache:
 
     @contextlib.contextmanager
     def _lock(self):
-        """Exclusive advisory lock on the cache directory's index."""
+        """Exclusive advisory lock on the cache directory's index.
+
+        POSIX hosts flock ``index.lock``.  Where ``fcntl`` is missing
+        (e.g. Windows) the fallback is an ``O_CREAT|O_EXCL`` lockfile:
+        atomic creation is the acquisition, removal the release, and a
+        lockfile older than :attr:`LOCK_STALE_SECONDS` is presumed
+        abandoned by a crashed holder and broken (best-effort: two
+        waiters racing the break resolve through the atomic create).
+        The previous behaviour -- silently skipping locking entirely --
+        made every index update on such hosts a lost-update race.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        handle = open(self.root / self.LOCK_NAME, "a+")
-        try:
-            if fcntl is not None:
+        if fcntl is not None:
+            handle = open(self.root / self.LOCK_NAME, "a+")
+            try:
                 fcntl.flock(handle, fcntl.LOCK_EX)
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+                handle.close()
+            return
+        path = self.root / self.LOCKFILE_NAME
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - os.stat(path).st_mtime
+                except OSError:
+                    continue  # holder just released: retry immediately
+                if age > self.LOCK_STALE_SECONDS:
+                    with contextlib.suppress(OSError):
+                        os.unlink(path)
+                    continue
+                time.sleep(0.05)
+        try:
             yield
         finally:
-            if fcntl is not None:
-                fcntl.flock(handle, fcntl.LOCK_UN)
-            handle.close()
+            with contextlib.suppress(OSError):
+                os.unlink(path)
 
     @staticmethod
     def _fresh_index() -> Dict[str, object]:
@@ -282,20 +324,55 @@ class ResultCache:
         }
 
     def _read_index(self) -> Dict[str, object]:
-        """The on-disk index, or a fresh one if absent/corrupt."""
+        """The on-disk index, salvaging whatever a damaged one holds.
+
+        A version mismatch or parse error used to be treated as "fresh
+        index", which silently zeroed the lifetime hit/miss/evict
+        counters and orphaned every existing blob entry (invisible to
+        LRU eviction until the next explicit reconcile).  Instead,
+        readable stats fields and well-formed entries are adopted into
+        a fresh-format index, and the data files on disk are reconciled
+        in so no blob is orphaned by bookkeeping damage.
+        """
+        raw: object = None
+        intact = False
         try:
             with open(self.root / self.INDEX_NAME, "r", encoding="utf-8") as fh:
-                index = json.load(fh)
-            if index.get("version") != INDEX_VERSION:
-                raise ValueError("index version mismatch")
-            index["tick"] = int(index["tick"])
-            for field in ("hits", "misses", "evictions", "puts"):
-                index["stats"][field] = int(index["stats"].get(field, 0))
-            if not isinstance(index["entries"], dict):
-                raise ValueError("bad entries table")
-            return index
-        except (OSError, ValueError, KeyError, TypeError):
-            return self._fresh_index()
+                raw = json.load(fh)
+            intact = isinstance(raw, dict) and raw.get("version") == INDEX_VERSION
+        except (OSError, ValueError):
+            raw = None
+        index = self._fresh_index()
+        if isinstance(raw, dict):
+            try:
+                index["tick"] = max(0, int(raw.get("tick", 0)))
+            except (TypeError, ValueError):
+                intact = False
+            stats = raw.get("stats")
+            if isinstance(stats, dict):
+                for field in ("hits", "misses", "evictions", "puts"):
+                    try:
+                        index["stats"][field] = max(0, int(stats.get(field, 0)))
+                    except (TypeError, ValueError):
+                        intact = False
+            entries = raw.get("entries")
+            if isinstance(entries, dict):
+                for key, entry in entries.items():
+                    try:
+                        index["entries"][str(key)] = {
+                            "size": int(entry["size"]),
+                            "tick": int(entry["tick"]),
+                        }
+                    except (TypeError, ValueError, KeyError):
+                        intact = False
+            else:
+                intact = False
+        if not intact:
+            # Damaged, foreign-version, or absent bookkeeping: make the
+            # salvaged index agree with the directory so existing blobs
+            # stay visible to eviction and stats.
+            self._reconcile(index)
+        return index
 
     def _write_index(self, index: Dict[str, object]) -> None:
         final = self.root / self.INDEX_NAME
@@ -383,21 +460,38 @@ class ResultCache:
         with self._lock():
             index = self._read_index()
             index["stats"]["hits"] += 1
-            self._touch(index, key, size)  # LRU: a hit refreshes recency
+            # LRU: a hit refreshes recency -- but the blob was read
+            # *before* this lock, so a concurrent eviction may have
+            # removed entry and file in between.  Touching then would
+            # resurrect an index entry whose blob is gone; only refresh
+            # while the blob is still on disk.
+            if key in index["entries"] or path.is_file():
+                self._touch(index, key, size)
             self._write_index(index)
         return result
 
-    def put(self, key: str, result: RunResult) -> None:
+    def _write_blob(self, key: str, result: RunResult) -> int:
+        """Atomically write one data entry; returns its size in bytes."""
         self.root.mkdir(parents=True, exist_ok=True)
         final = self.path_for(key)
         tmp = final.with_name(final.name + f".tmp{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh, separators=(",", ":"))
         os.replace(tmp, final)
+        return final.stat().st_size
+
+    def put(self, key: str, result: RunResult) -> None:
+        size = self._write_blob(key, result)
+        final = self.path_for(key)
         with self._lock():
             index = self._read_index()
+            if not final.is_file():
+                # A concurrent eviction raced the blob away between the
+                # write above and this lock; restore it before indexing
+                # so the entry never points at a missing file.
+                size = self._write_blob(key, result)
             index["stats"]["puts"] += 1
-            self._touch(index, key, final.stat().st_size)
+            self._touch(index, key, size)
             # Never evict what was just written, even if it alone busts
             # the cap -- caching the current sweep beats strict caps.
             self._evict(index, self.max_bytes, protect=(key,))

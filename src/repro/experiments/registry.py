@@ -24,12 +24,23 @@ the fleet changes.  The registry removes both constraints:
 
 The registry speaks the same newline-delimited JSON protocol (and
 :data:`~repro.experiments.backends.PROTOCOL_VERSION`) as the sweep wire
-protocol.  Three message flows:
+protocol.  Four message flows:
 
 * worker -> registry: ``{"type": "announce", "address": "H:P"}`` then
-  ``{"type": "heartbeat"}`` every ``interval`` seconds;
+  ``{"type": "heartbeat"}`` every ``interval`` seconds.  The
+  ``registered`` ack carries ``steal``: dial-in addresses of
+  coordinators currently hungry for workers (see ``watch`` below), so
+  a worker joining mid-sweep can dial straight into the sweep instead
+  of waiting to be discovered;
 * coordinator -> registry: ``{"type": "workers"}`` answered with
   ``{"type": "workers", "workers": ["H:P", ...]}`` (one-shot);
+* coordinator -> registry: ``{"type": "watch"}`` answered with the
+  same ``workers`` message immediately and then **pushed** again on
+  every membership change (join, disconnect, stale prune) until the
+  subscriber hangs up -- this replaces 1 s coordinator polling with
+  push dispatch.  An optional ``steal`` field carries the
+  coordinator's own dial-in listener address, advertised to workers in
+  announce acks for as long as the watch is open;
 * registry -> either: ``{"ok": false, "error": ...}`` on a bad request.
 
 The registry holds **no sweep state** -- it is a pure membership view,
@@ -44,7 +55,7 @@ import socket
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, TextIO, Tuple, Union
+from typing import Callable, Dict, List, Optional, TextIO, Tuple, Union
 
 from repro.experiments.backends import (
     PROTOCOL_VERSION,
@@ -92,8 +103,20 @@ class Registry:
         self._owner: Dict[str, int] = {}
         self._conn_seq = 0
         self._lock = threading.Lock()
+        #: Open ``watch`` subscriber sockets, pushed a fresh workers
+        #: list on every membership change.
+        self._watchers: List[socket.socket] = []
+        #: Coordinator dial-in addresses advertised to announcing
+        #: workers ("steal" hints), keyed to the watch socket whose
+        #: lifetime bounds them.
+        self._steal: Dict[str, socket.socket] = {}
+        #: Serializes pushes: a watcher socket is written to both by
+        #: its own serve thread and by whichever thread changed the
+        #: membership.
+        self._push_lock = threading.Lock()
         self._stop = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
+        self._janitor_thread: Optional[threading.Thread] = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -113,19 +136,72 @@ class Registry:
 
     # -- membership --------------------------------------------------------
 
-    def _prune_locked(self) -> None:
+    def _prune_locked(self) -> bool:
         deadline = time.monotonic() - self.stale_after
+        dropped = False
         for address, seen in list(self._alive.items()):
             if seen < deadline:
                 del self._alive[address]
                 self._owner.pop(address, None)
                 self._say(f"worker {address} stale (no heartbeat), dropped")
+                dropped = True
+        return dropped
 
     def workers(self) -> List[str]:
         """Live worker addresses (stale entries pruned), sorted."""
         with self._lock:
             self._prune_locked()
             return sorted(self._alive)
+
+    def steal_hints(self) -> List[str]:
+        """Coordinator dial-in addresses with an open watch, sorted."""
+        with self._lock:
+            return sorted(self._steal)
+
+    def _notify_watchers(self) -> None:
+        """Push the current workers list to every subscriber.
+
+        A subscriber whose send fails is dropped and closed (closing
+        also unblocks its serve thread's pending read).  Membership
+        changes are rare next to cell traffic, so re-sending the full
+        list keeps subscribers trivially convergent -- no deltas to
+        miss.
+        """
+        payload = {"type": "workers", "ok": True, "workers": self.workers()}
+        with self._lock:
+            watchers = list(self._watchers)
+        for sock in watchers:
+            try:
+                with self._push_lock:
+                    send_msg(sock, payload)
+            except OSError:
+                self._drop_watcher(sock)
+
+    def _drop_watcher(self, sock: socket.socket) -> None:
+        with self._lock:
+            if sock in self._watchers:
+                self._watchers.remove(sock)
+            for address, owner in list(self._steal.items()):
+                if owner is sock:
+                    del self._steal[address]
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _janitor_loop(self) -> None:
+        """Prune stale workers on a cadence and push the change.
+
+        Lazy pruning (inside :meth:`workers`) was enough when every
+        coordinator polled; push subscribers would never hear about a
+        SIGKILLed worker without someone running the prune.
+        """
+        interval = max(min(self.stale_after / 3.0, 0.5), 0.05)
+        while not self._stop.wait(interval):
+            with self._lock:
+                dropped = self._prune_locked()
+            if dropped:
+                self._notify_watchers()
 
     # -- server ------------------------------------------------------------
 
@@ -137,6 +213,10 @@ class Registry:
             target=self._accept_loop, name="registry-accept", daemon=True
         )
         self._accept_thread.start()
+        self._janitor_thread = threading.Thread(
+            target=self._janitor_loop, name="registry-janitor", daemon=True
+        )
+        self._janitor_thread.start()
         host, port = self.address
         self._say(f"listening on {host}:{port}")
 
@@ -155,9 +235,16 @@ class Registry:
             self._server.close()
         except OSError:
             pass
+        with self._lock:
+            watchers = list(self._watchers)
+        for sock in watchers:
+            self._drop_watcher(sock)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
             self._accept_thread = None
+        if self._janitor_thread is not None:
+            self._janitor_thread.join(timeout=2.0)
+            self._janitor_thread = None
 
     def _accept_loop(self) -> None:
         self._server.settimeout(0.2)
@@ -195,9 +282,13 @@ class Registry:
                 send_msg(sock, {"type": "workers", "ok": True,
                                 "workers": self.workers()})
                 return
+            if first.get("type") == "watch":
+                self._serve_watch(sock, rfile, first)
+                return
             if first.get("type") != "announce" or not first.get("address"):
                 send_msg(sock, {"ok": False,
-                                "error": "expected announce or workers"})
+                                "error": "expected announce, watch, "
+                                         "or workers"})
                 return
             address = format_address(str(first["address"]))
             with self._lock:
@@ -206,7 +297,9 @@ class Registry:
                 self._alive[address] = time.monotonic()
                 self._owner[address] = token
             self._say(f"worker {address} joined")
-            send_msg(sock, {"type": "registered", "ok": True})
+            send_msg(sock, {"type": "registered", "ok": True,
+                            "steal": self.steal_hints()})
+            self._notify_watchers()
             while True:
                 message = recv_msg(rfile)  # heartbeats, until EOF
                 if message is None:
@@ -235,10 +328,46 @@ class Registry:
                         left = False
                 if left:
                     self._say(f"worker {address} left")
+                    self._notify_watchers()
             try:
                 sock.close()
             except OSError:
                 pass
+
+    def _serve_watch(self, sock: socket.socket, rfile,
+                     first: Dict[str, object]) -> None:
+        """One push subscriber: initial list now, a push per change.
+
+        The subscriber sends nothing further (its reads are one-way
+        pushes), so the per-message timeout set for announce traffic is
+        lifted -- a silent watcher is just an idle coordinator, and a
+        dead one is detected when a push fails.  An optional ``steal``
+        address in the subscribe message is advertised to announcing
+        workers for the lifetime of this subscription.
+        """
+        sock.settimeout(None)
+        steal: Optional[str] = None
+        if first.get("steal"):
+            steal = format_address(str(first["steal"]))
+        with self._lock:
+            self._watchers.append(sock)
+            if steal is not None:
+                self._steal[steal] = sock
+        self._say("watcher joined"
+                  + (f" (steal hint {steal})" if steal else ""))
+        try:
+            with self._push_lock:
+                send_msg(sock, {"type": "workers", "ok": True,
+                                "workers": self.workers()})
+            while True:
+                if recv_msg(rfile) is None:  # pings tolerated, EOF ends
+                    return
+        except OSError:
+            pass
+        finally:
+            self._drop_watcher(sock)
+            self._say("watcher left"
+                      + (f" (steal hint {steal} withdrawn)" if steal else ""))
 
 
 def fetch_workers(
@@ -277,10 +406,15 @@ class Announcer:
         registry: Union[str, Tuple[str, int]],
         address: Union[str, Tuple[str, int]],
         interval: float = HEARTBEAT_INTERVAL,
+        on_hints: Optional[Callable[[List[str]], None]] = None,
     ) -> None:
         self.registry = parse_address(registry)
         self.address = format_address(address)
         self.interval = interval
+        #: Called with the registry's work-steal hints (coordinator
+        #: dial-in addresses) from each ``registered`` ack, so a worker
+        #: joining mid-sweep can dial straight into active sweeps.
+        self.on_hints = on_hints
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._loop, name=f"announce-{self.address}", daemon=True
@@ -317,6 +451,10 @@ class Announcer:
                     ack = recv_msg(rfile)
                     if not ack or not ack.get("ok"):
                         return  # version mismatch etc.: do not spin
+                    if self.on_hints is not None and ack.get("steal"):
+                        self.on_hints(
+                            [str(a) for a in ack["steal"]]
+                        )
                     while not self._stop.wait(self.interval):
                         send_msg(sock, {"type": "heartbeat"})
                     return

@@ -34,19 +34,122 @@ locking keeps concurrent workers safe.
 A cell that raises on the worker is reported back (``ok: false`` plus
 the traceback) and aborts the coordinator's sweep; the worker itself
 survives and keeps serving.
+
+On POSIX hosts each cell runs in a forked child process so it is
+**preemptible**: when the coordinator abandons the cell (its
+``--cell-timeout`` elapsed, or it hung up), the worker kills the child
+and frees the slot immediately instead of simulating the doomed cell
+to completion.  The coordinator signals this with a ``cancel`` wire
+message before closing; an EOF mid-cell means the same thing.  Hosts
+without ``fork`` fall back to in-process execution (no preemption).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import queue
+import select
 import socket
 import sys
 import time
 import traceback
-from typing import Optional, TextIO, Tuple
+from typing import Dict, Optional, TextIO, Tuple
 
 from repro.experiments import backends
 from repro.experiments.orchestrator import ResultCache, _execute_job
+
+#: Fork start-method context, or None where unavailable (Windows).
+#: Fork (not spawn) so a cell child inherits the live module state --
+#: cheap to start, and test monkeypatching carries into the child.
+_FORK_CTX = (
+    multiprocessing.get_context("fork")
+    if "fork" in multiprocessing.get_all_start_methods()
+    else None
+)
+
+#: Seconds a worker waits before re-dialing the same steal hint.
+STEAL_REDIAL_BACKOFF = 5.0
+
+
+def _cell_child(conn, message: Dict[str, object],
+                sock: Optional[socket.socket] = None) -> None:
+    """Forked child: execute one wire-format job, ship the reply dict."""
+    if sock is not None:
+        # Drop the inherited coordinator connection: were the worker
+        # parent SIGKILLed mid-cell, this orphan's dup would otherwise
+        # hold the connection open and the coordinator would not see
+        # EOF (and so not retry the cell) until the orphan finished.
+        try:
+            sock.close()
+        except OSError:
+            pass
+    try:
+        job = backends.job_from_wire(message)
+        result = _execute_job(job)
+        conn.send({"ok": True, "result": result.to_dict()})
+    except Exception:  # noqa: BLE001 - the parent relays it to the coordinator
+        conn.send({"ok": False, "error": traceback.format_exc()})
+    finally:
+        conn.close()
+
+
+def _execute_preemptible(
+    sock: socket.socket, rfile, message: Dict[str, object]
+) -> Tuple[str, Optional[Dict[str, object]]]:
+    """Run one cell in a killable child, watching the coordinator.
+
+    Returns ``("reply", payload)`` when the cell finished (``payload``
+    has ``ok``/``result`` or ``ok``/``error``), ``("cancelled", None)``
+    when the coordinator sent ``cancel`` (no reply owed -- it already
+    gave up on this cell), or ``("eof", None)`` when the coordinator
+    hung up (the connection is over).  The child is terminated on every
+    non-reply path.
+
+    Selecting on the raw socket next to the buffered reader is safe
+    *here* because the protocol is strictly request/response: at this
+    point the coordinator's ``job`` line has been consumed and it sends
+    nothing further until our reply -- except a ``cancel``/hang-up,
+    which is exactly what the select is watching for.
+    """
+    assert _FORK_CTX is not None
+    parent_conn, child_conn = _FORK_CTX.Pipe(duplex=False)
+    proc = _FORK_CTX.Process(
+        target=_cell_child, args=(child_conn, message, sock), daemon=True
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        while True:
+            ready, _, _ = select.select([sock, parent_conn], [], [])
+            if parent_conn in ready:
+                try:
+                    payload = parent_conn.recv()
+                except EOFError:
+                    proc.join(timeout=5.0)
+                    payload = {
+                        "ok": False,
+                        "error": "cell child exited without a result "
+                                 f"(exitcode {proc.exitcode})",
+                    }
+                return ("reply", payload)
+            if sock in ready:
+                note = backends.recv_msg(rfile)
+                if note is None:
+                    return ("eof", None)
+                if note.get("type") in ("cancel", "bye"):
+                    return ("cancelled", None)
+                # Anything else mid-cell is a protocol violation from a
+                # confused coordinator; keep simulating, it can only
+                # recover by cancelling or hanging up.
+    finally:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+        if proc.is_alive():  # a child ignoring SIGTERM gets SIGKILL
+            proc.kill()
+            proc.join(timeout=5.0)
+        parent_conn.close()
 
 
 def serve_connection(
@@ -82,6 +185,23 @@ def serve_connection(
             if cached is not None:
                 from_cache += 1
                 reply.update(ok=True, cached=True, result=cached.to_dict())
+            elif _FORK_CTX is not None:
+                outcome, payload = _execute_preemptible(sock, rfile, message)
+                if outcome == "eof":
+                    return served, from_cache
+                if outcome == "cancelled":
+                    # The coordinator abandoned this cell; it expects
+                    # no reply and has retried elsewhere.  The slot is
+                    # free again -- serve whatever comes next.
+                    continue
+                if payload.get("ok"):
+                    result = backends.RunResult.from_dict(payload["result"])
+                    if cache is not None:
+                        cache.put(job.key(), result)
+                    reply.update(ok=True, cached=False,
+                                 result=payload["result"])
+                else:
+                    reply.update(ok=False, error=str(payload.get("error")))
             else:
                 result = _execute_job(job)
                 if cache is not None:
@@ -175,19 +295,43 @@ def run_worker(
     # Scripts parse this line to learn the bound port (PORT may be 0).
     print(f"worker: listening on {host}:{port}", file=out, flush=True)
     announcer = None
+    # Work-steal hints from the registry's registered ack: coordinator
+    # dial-in addresses this worker should offer itself to.  Filled by
+    # the announcer thread, drained by the accept loop below.
+    hints: "queue.Queue[str]" = queue.Queue()
     if register is not None:
         from repro.experiments.registry import Announcer
 
         announcer = Announcer(
-            register, announce or (host, port), interval=heartbeat
+            register, announce or (host, port), interval=heartbeat,
+            on_hints=lambda addresses: [hints.put(a) for a in addresses],
         ).start()
         print(f"worker: announcing {announcer.address} to registry "
               f"{announcer.registry[0]}:{announcer.registry[1]}",
               file=out, flush=True)
+        # Hints can only ever arrive while registered, so the accept
+        # call must wake up to drain them.
+        server.settimeout(0.5)
+    recent_steals: Dict[str, float] = {}
     try:
         with server:
             while True:
-                sock, peer = server.accept()
+                # Steal-dial hinted coordinators first: a worker that
+                # just joined mid-sweep reaches the sweep through its
+                # own dial instead of waiting to be discovered.
+                try:
+                    hint = hints.get_nowait()
+                except queue.Empty:
+                    hint = None
+                if hint is not None:
+                    served = _steal_dial(hint, cache, recent_steals, out)
+                    if once and served:
+                        return 0
+                    continue
+                try:
+                    sock, peer = server.accept()
+                except socket.timeout:
+                    continue
                 try:
                     with sock:
                         served, from_cache = serve_connection(sock, cache)
@@ -215,3 +359,46 @@ def run_worker(
     finally:
         if announcer is not None:
             announcer.close()
+
+
+def _steal_dial(
+    hint: str,
+    cache: Optional[ResultCache],
+    recent: Dict[str, float],
+    out: TextIO,
+) -> bool:
+    """Dial one hinted coordinator and serve it; True if cells flowed.
+
+    Best-effort by design: the coordinator also discovers this worker
+    through its registry watch, so a refused or stale hint costs
+    nothing but this dial.  ``recent`` rate-limits repeat dials of the
+    same address (re-announcements after a registry restart re-deliver
+    hints).
+    """
+    try:
+        address = backends.parse_address(hint)
+    except ValueError:
+        return False
+    label = "%s:%d" % address
+    now = time.monotonic()
+    if now - recent.get(label, -1e9) < STEAL_REDIAL_BACKOFF:
+        return False
+    recent[label] = now
+    try:
+        sock = socket.create_connection(address, timeout=5.0)
+    except OSError:
+        return False
+    try:
+        with sock:
+            served, from_cache = serve_connection(sock, cache)
+    except OSError as exc:
+        print(f"worker: stolen coordinator {label} dropped mid-cell "
+              f"({exc})", file=sys.stderr, flush=True)
+        return False
+    print(
+        f"worker: served {served} cell(s) ({from_cache} from cache) "
+        f"for {label} (steal hint)",
+        file=out,
+        flush=True,
+    )
+    return served > 0

@@ -1,0 +1,25 @@
+"""Sweep-as-a-service: the always-on coordinator (``repro serve``).
+
+Submodules:
+
+* :mod:`repro.service.store` -- sqlite persistence: the
+  :class:`~repro.service.store.SqliteResultCache` result index and the
+  :class:`~repro.service.store.JobStore` job queue / event log.
+* :mod:`repro.service.coordinator` -- :class:`SweepService`, the
+  scheduler that claims jobs and drives ``stream_sweep`` over them.
+* :mod:`repro.service.api` -- the HTTP/JSON front end.
+* :mod:`repro.service.client` -- a stdlib-only client used by the
+  ``repro job`` CLI verbs and by tests.
+
+The coordinator and API are imported lazily by the CLI (``repro
+serve`` / ``repro job``) so that importing :mod:`repro.service` stays
+cheap for code that only wants the sqlite cache.
+"""
+
+from repro.service.store import JobStore, SqliteResultCache, open_result_cache
+
+__all__ = [
+    "JobStore",
+    "SqliteResultCache",
+    "open_result_cache",
+]

@@ -533,3 +533,132 @@ class TestWorkerProtocol:
         )
         assert rebuilt == job
         assert rebuilt.key() == job.key()
+
+
+@pytest.mark.skipif(worker_mod._FORK_CTX is None,
+                    reason="preemption needs the fork start method")
+class TestWorkerPreemption:
+    """A cell the coordinator gave up on must stop *executing* on the
+    worker -- not just stop being awaited (the distributed-path bugfix:
+    a timed-out cell used to burn the worker slot to completion)."""
+
+    def _handshake(self, monkeypatch, heartbeat_path):
+        """serve_connection in a thread, with cells that heartbeat
+        forever instead of simulating (fork inherits the patch)."""
+        real_execute = worker_mod._execute_job
+
+        def hanging_execute(job):
+            if job.workload == "bc":  # the cell under test hangs...
+                while True:
+                    heartbeat_path.write_text(str(time.monotonic()))
+                    time.sleep(0.02)
+            return real_execute(job)  # ...any other cell is normal
+
+        monkeypatch.setattr(worker_mod, "_execute_job", hanging_execute)
+        coord, worker_side = socket.socketpair()
+        thread = threading.Thread(
+            target=worker_mod.serve_connection, args=(worker_side,),
+            daemon=True,
+        )
+        thread.start()
+        rfile = coord.makefile("r", encoding="utf-8")
+        assert backends.recv_msg(rfile)["type"] == "hello"
+        return coord, rfile, thread
+
+    def _send_job(self, coord, seq, workload):
+        job = SweepJob.make(workload, "Base-CSSD", records_per_thread=R)
+        message = {"type": "job", "id": seq, "key": job.key()}
+        message.update(backends.job_to_wire(job))
+        backends.send_msg(coord, message)
+
+    def _assert_heartbeat_stops(self, path, within=10.0):
+        """The hanging child beats every 20ms; silence for 0.5s after a
+        kill means it is gone (and stays gone)."""
+        deadline = time.monotonic() + within
+        while time.monotonic() < deadline:
+            before = path.read_text() if path.exists() else ""
+            time.sleep(0.5)
+            after = path.read_text() if path.exists() else ""
+            if before == after:
+                return
+        raise AssertionError("cell kept executing after preemption")
+
+    def test_cancel_kills_cell_and_frees_the_slot(self, tmp_path,
+                                                  monkeypatch):
+        beat = tmp_path / "beat"
+        coord, rfile, thread = self._handshake(monkeypatch, beat)
+        self._send_job(coord, 1, "bc")
+        deadline = time.monotonic() + 10
+        while not beat.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert beat.exists(), "hanging cell never started"
+        backends.send_msg(coord, {"type": "cancel", "id": 1})
+        self._assert_heartbeat_stops(beat)
+        # No reply is owed for the cancelled cell, and the slot is
+        # immediately usable: the next (healthy) cell completes.
+        self._send_job(coord, 2, "ycsb")
+        reply = backends.recv_msg(rfile)
+        assert reply["id"] == 2 and reply["ok"] is True
+        assert reply["result"]["workload"] == "ycsb"
+        backends.send_msg(coord, {"type": "bye"})
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        coord.close()
+
+    def test_coordinator_hangup_kills_cell(self, tmp_path, monkeypatch):
+        beat = tmp_path / "beat"
+        coord, rfile, thread = self._handshake(monkeypatch, beat)
+        self._send_job(coord, 1, "bc")
+        deadline = time.monotonic() + 10
+        while not beat.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert beat.exists(), "hanging cell never started"
+        # A coordinator crash is an EOF, not a polite cancel.  SHUT_RDWR
+        # (not close) because the forked cell child holds a dup of the
+        # worker-side fd until _cell_child drops it.
+        coord.shutdown(socket.SHUT_RDWR)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        self._assert_heartbeat_stops(beat)
+        coord.close()
+
+    def test_timed_out_cell_gets_a_cancel_message(self):
+        """Coordinator side of the fix: abandoning a cell on timeout
+        sends ``cancel`` before the retry, so a real worker can kill
+        the stale attempt."""
+        policy = CellPolicy(cell_timeout=0.5, retry_budget=3)
+        with DistributedBackend(listen="127.0.0.1:0", policy=policy) as backend:
+            cancelled = threading.Event()
+            stalled = threading.Event()
+
+            def stalling_worker():
+                sock = socket.create_connection(backend.address)
+                rfile = sock.makefile("r", encoding="utf-8")
+                backends.send_msg(
+                    sock, {"type": "hello",
+                           "version": backends.PROTOCOL_VERSION}
+                )
+                job_msg = backends.recv_msg(rfile)
+                assert job_msg["type"] == "job"
+                stalled.set()
+                # Stall the cell but keep listening, like a real worker
+                # whose child is simulating: the coordinator's timeout
+                # must deliver a cancel for this exact cell.
+                note = backends.recv_msg(rfile)
+                if note and note.get("type") == "cancel" \
+                        and note.get("id") == job_msg["id"]:
+                    cancelled.set()
+
+            def good_worker_after_stall():
+                assert stalled.wait(timeout=20)
+                start_inprocess_worker(backend.address)
+
+            threading.Thread(target=stalling_worker, daemon=True).start()
+            threading.Thread(target=good_worker_after_stall,
+                             daemon=True).start()
+            results = run_sweep(tiny_jobs()[:1], cache=False, backend=backend)
+            assert cancelled.wait(timeout=10), \
+                "timeout abandoned the cell without sending cancel"
+        assert dumps(results) == dumps(
+            run_sweep(tiny_jobs()[:1], jobs=1, cache=False)
+        )

@@ -7,8 +7,14 @@ recovery, and multi-process writers sharing one cache directory.
 
 import json
 import multiprocessing
+import os
+import threading
+import time
+
+import pytest
 
 from repro.config import SimConfig
+from repro.experiments import orchestrator as orchestrator_mod
 from repro.experiments.orchestrator import ResultCache
 from repro.experiments.runner import RunResult
 from repro.sim.stats import SimStats
@@ -205,3 +211,114 @@ class TestConcurrency:
         # Every surviving index entry must be a readable result.
         for key in index["entries"]:
             assert store.get(key) is not None
+
+
+class TestIndexSalvage:
+    def test_version_mismatch_preserves_stats_and_entries(self, tmp_path):
+        """A foreign-version index is salvaged, not zeroed: lifetime
+        counters and entries carry over into the fresh format."""
+        store = ResultCache(tmp_path)
+        store.put("k0", fake_result())
+        store.put("k1", fake_result())
+        assert store.get("k0") is not None   # hits = 1
+        assert store.get("gone") is None     # misses = 1
+        index_path = tmp_path / ResultCache.INDEX_NAME
+        index = json.loads(index_path.read_text())
+        index["version"] = 999
+        index_path.write_text(json.dumps(index))
+
+        fresh = ResultCache(tmp_path)
+        stats = fresh.stats()
+        assert stats["entries"] == 2
+        assert stats["puts"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert fresh.get("k1") is not None
+
+    def test_mangled_entries_reconciled_from_disk(self, tmp_path):
+        """Damaged entry records are dropped but the blobs they pointed
+        at are re-adopted from the directory -- nothing is orphaned."""
+        store = ResultCache(tmp_path)
+        store.put("k0", fake_result())
+        store.put("k1", fake_result())
+        index_path = tmp_path / ResultCache.INDEX_NAME
+        index = json.loads(index_path.read_text())
+        index["entries"]["k0"] = "garbage"
+        index_path.write_text(json.dumps(index))
+
+        stats = ResultCache(tmp_path).stats()
+        assert stats["entries"] == 2           # k0 came back via reconcile
+        assert stats["puts"] == 2              # counters survived
+
+    def test_salvaged_blobs_stay_evictable(self, tmp_path):
+        """After index damage every blob must stay visible to the LRU --
+        the old reset-to-fresh behaviour hid them from eviction."""
+        unit = entry_size(tmp_path)
+        root = tmp_path / "c"
+        store = ResultCache(root, max_bytes=10 * unit)
+        for i in range(3):
+            store.put(f"k{i}", fake_result())
+        (root / ResultCache.INDEX_NAME).write_text("{not json")
+        capped = ResultCache(root, max_bytes=unit + unit // 2)
+        capped.put("fresh", fake_result())
+        assert capped.size_bytes() <= capped.max_bytes
+        assert "fresh" in {p.stem for p in capped.entries()}
+
+
+class TestLockfileFallback:
+    @pytest.fixture
+    def no_fcntl(self, monkeypatch):
+        """Simulate a host without fcntl (e.g. Windows)."""
+        monkeypatch.setattr(orchestrator_mod, "fcntl", None)
+
+    def test_lockfile_created_and_removed(self, tmp_path, no_fcntl):
+        store = ResultCache(tmp_path)
+        lockfile = tmp_path / ResultCache.LOCKFILE_NAME
+        with store._lock():
+            assert lockfile.is_file()
+            assert lockfile.read_text() == str(multiprocessing.current_process().pid)
+        assert not lockfile.exists()
+
+    def test_lockfile_excludes_second_acquirer(self, tmp_path, no_fcntl):
+        store = ResultCache(tmp_path)
+        order = []
+        entered = threading.Event()
+        with store._lock():
+            def contender():
+                entered.set()
+                with store._lock():
+                    order.append("second")
+            thread = threading.Thread(target=contender, daemon=True)
+            thread.start()
+            assert entered.wait(timeout=5)
+            time.sleep(0.3)  # give the contender time to (wrongly) enter
+            order.append("first")
+        thread.join(timeout=10)
+        assert order == ["first", "second"]
+
+    def test_stale_lockfile_is_broken(self, tmp_path, no_fcntl, monkeypatch):
+        monkeypatch.setattr(ResultCache, "LOCK_STALE_SECONDS", 0.2)
+        store = ResultCache(tmp_path)
+        lockfile = tmp_path / ResultCache.LOCKFILE_NAME
+        tmp_path.mkdir(exist_ok=True)
+        lockfile.write_text("99999")  # a crashed holder's leftover
+        old = time.time() - 5.0
+        os.utime(lockfile, (old, old))
+        start = time.monotonic()
+        store.put("k0", fake_result())  # must break the stale lock
+        assert time.monotonic() - start < 5.0
+        assert store.get("k0") is not None
+        assert not lockfile.exists()
+
+    def test_concurrent_writers_exact_accounting_without_fcntl(
+        self, tmp_path, no_fcntl
+    ):
+        """The fallback lock provides real mutual exclusion: the exact
+        counter invariants hold across forked writers (which inherit
+        the fcntl=None patch).  The silent no-op it replaced failed
+        this by losing index updates."""
+        puts = _run_hammers(tmp_path, max_bytes=0)
+        stats = ResultCache(tmp_path).stats()
+        assert stats["puts"] == puts
+        assert stats["entries"] == puts
+        assert stats["hits"] + stats["misses"] == 2 * puts

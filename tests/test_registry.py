@@ -285,3 +285,148 @@ class TestRegistryBackend:
             results = run_sweep(tiny_jobs(), cache=False, backend=backend)
             assert proc.wait(timeout=30) == 0
         assert dumps(results) == dumps(serial)
+
+
+class TestRegistryWatch:
+    """Push dispatch: watch subscriptions and work-steal hints."""
+
+    def _watch(self, registry, steal=None):
+        sock = socket.create_connection(registry.address)
+        rfile = sock.makefile("r", encoding="utf-8")
+        subscribe = {"type": "watch", "version": backends.PROTOCOL_VERSION}
+        if steal is not None:
+            subscribe["steal"] = steal
+        backends.send_msg(sock, subscribe)
+        first = backends.recv_msg(rfile)
+        assert first["type"] == "workers" and first["ok"]
+        return sock, rfile, first
+
+    @staticmethod
+    def _next_push_with(rfile, workers, tries=10):
+        """Pushes coalesce under churn; accept any prefix, require the
+        target membership within a few messages."""
+        seen = []
+        for _ in range(tries):
+            push = backends.recv_msg(rfile)
+            assert push is not None, f"watch closed; saw {seen}"
+            seen.append(push["workers"])
+            if push["workers"] == workers:
+                return
+        raise AssertionError(f"never pushed {workers}; saw {seen}")
+
+    def test_watch_pushes_joins_and_leaves(self):
+        with Registry("127.0.0.1:0") as registry:
+            sock, rfile, first = self._watch(registry)
+            assert first["workers"] == []
+            announcer = Announcer(
+                registry.address, ("127.0.0.1", 7101), interval=0.2
+            ).start()
+            self._next_push_with(rfile, ["127.0.0.1:7101"])
+            announcer.close()
+            self._next_push_with(rfile, [])
+            rfile.close()
+            sock.close()
+
+    def test_watch_initial_list_has_existing_workers(self):
+        with Registry("127.0.0.1:0") as registry:
+            announcer = Announcer(
+                registry.address, ("127.0.0.1", 7102), interval=0.2
+            ).start()
+            wait_for_workers(registry, 1)
+            _sock, _rfile, first = self._watch(registry)
+            assert first["workers"] == ["127.0.0.1:7102"]
+            announcer.close()
+
+    def test_steal_hint_reaches_announcing_worker(self):
+        """A coordinator watching with a dial-in address is handed to
+        workers as they register, so they dial it immediately."""
+        with Registry("127.0.0.1:0") as registry:
+            wsock, wrfile, _ = self._watch(registry, steal="127.0.0.1:9101")
+            assert registry.steal_hints() == ["127.0.0.1:9101"]
+            hints = []
+            got = threading.Event()
+
+            def on_hints(addresses):
+                hints.extend(addresses)
+                got.set()
+
+            announcer = Announcer(
+                registry.address, ("127.0.0.1", 7103), interval=0.2,
+                on_hints=on_hints,
+            ).start()
+            assert got.wait(timeout=5)
+            assert hints == ["127.0.0.1:9101"]
+            announcer.close()
+            # The hint is withdrawn with its watcher.
+            wrfile.close()
+            wsock.close()
+            deadline = time.monotonic() + 5.0
+            while registry.steal_hints() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert registry.steal_hints() == []
+
+    def test_watch_dispatched_sweep_matches_serial(self):
+        """End to end through push dispatch: a sweep against a registry
+        whose worker joins *after* the sweep starts, completed via the
+        watch push (no 1s poll), byte-identical to serial."""
+        with Registry("127.0.0.1:0") as registry:
+            backend = DistributedBackend(
+                registry=format_address(registry.address))
+            with backend:
+                worker = InProcessWorker(registry.address)
+                try:
+                    results = run_sweep(tiny_jobs(), cache=False,
+                                        backend=backend)
+                finally:
+                    worker.kill()
+        assert dumps(results) == dumps(
+            run_sweep(tiny_jobs(), jobs=1, cache=False))
+
+    def test_steal_dial_serves_listening_coordinator(self):
+        """Worker side of the hints: a hinted address is dialed and the
+        coordinator's queued cells flow through that dial."""
+        policy = CellPolicy(retry_budget=3)
+        with Registry("127.0.0.1:0") as registry:
+            with DistributedBackend(listen="127.0.0.1:0",
+                                    registry=format_address(registry.address),
+                                    policy=policy) as backend:
+                hints = []
+
+                def on_hints(addresses):
+                    hints.extend(addresses)
+                    for address in addresses:
+                        threading.Thread(
+                            target=worker_mod._steal_dial,
+                            args=(address, None, {},
+                                  __import__("io").StringIO()),
+                            daemon=True,
+                        ).start()
+
+                announcers = []
+
+                def announce_after_hint_registered():
+                    # Hints ride the `registered` ack, and the backend
+                    # only subscribes (registering its steal address)
+                    # once the sweep starts its registry watch -- so
+                    # this non-dialable worker must announce *after*
+                    # the hint exists or it would miss its only way in.
+                    deadline = time.monotonic() + 10.0
+                    while not registry.steal_hints() \
+                            and time.monotonic() < deadline:
+                        time.sleep(0.05)
+                    announcers.append(Announcer(
+                        registry.address, ("127.0.0.1", 1),  # not dialable
+                        interval=0.2, on_hints=on_hints,
+                    ).start())
+
+                threading.Thread(target=announce_after_hint_registered,
+                                 daemon=True).start()
+                try:
+                    results = run_sweep(tiny_jobs()[:1], cache=False,
+                                        backend=backend)
+                finally:
+                    for announcer in announcers:
+                        announcer.close()
+                assert hints and hints[0] == "%s:%d" % backend.address
+        assert dumps(results) == dumps(
+            run_sweep(tiny_jobs()[:1], jobs=1, cache=False))
