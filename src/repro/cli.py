@@ -85,7 +85,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import bench as bench_mod
 from repro.experiments import ablation, colocation, cost, design, migration_study
-from repro.experiments import motivation, overall, sensitivity
+from repro.experiments import motivation, overall, qos, sensitivity
 from repro.experiments.backends import (
     CellPolicy,
     DistributedBackend,
@@ -142,6 +142,7 @@ FIGURES: Dict[str, Callable] = {
     "fig23": migration_study.fig23_migration_mechanisms,
     "table3": overall.table3_flash_read_latency,
     "colocation": colocation.colocation_study,
+    "qos": qos.qos_slo_study,
     "cost": cost.cost_effectiveness,
     "prefetch-ablation": ablation.prefetch_ablation,
     "promotion-threshold": ablation.promotion_threshold_sweep,
@@ -631,6 +632,10 @@ def _trace_gen_meta(names: Sequence[str], args: argparse.Namespace,
     records = args.records or default_records()
     scale = args.scale or DEFAULT_SCALE
     seed = args.seed if args.seed is not None else 42
+    qos_mode = getattr(args, "qos", None)
+    if qos_mode and len(names) == 1:
+        raise ValueError("--qos needs a multi-tenant (colocation) trace; "
+                         "pass several scenario names")
     if len(names) == 1:
         scenario = get_scenario(names[0])
         threads = threads_per_tenant
@@ -651,6 +656,11 @@ def _trace_gen_meta(names: Sequence[str], args: argparse.Namespace,
     tenants = tenants_from_names(names, threads=threads_per_tenant, seed=seed)
     plan = build_colocation(tenants, scale=scale, records_per_thread=records)
     config = build_config(scale=scale, seed=seed, threads=len(plan.traces))
+    if qos_mode:
+        # Bake the QoS knobs into the embedded config: replay then
+        # reconstructs the exact same isolation behaviour on any backend
+        # (the qos-smoke CI job byte-compares local vs distributed).
+        config = config.replace(qos=plan.qos_config(qos_mode))
     meta = {"kind": "colocation",
             "workload": "+".join(t.name for t in tenants),
             "seed": seed,
@@ -1000,6 +1010,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="records per thread (default REPRO_RECORDS)")
     p_gen.add_argument("--scale", type=int, default=None)
     p_gen.add_argument("--seed", type=int, default=None)
+    p_gen.add_argument("--qos", default=None, metavar="MODE",
+                       choices=("wfq", "priority", "log-partition",
+                                "cache-quota"),
+                       help="embed a tenant-QoS config in the colocation "
+                            "trace (wfq, priority, log-partition, "
+                            "cache-quota; see docs/QOS.md)")
     p_gen.set_defaults(func=cmd_trace)
 
     p_inspect = trace_sub.add_parser(

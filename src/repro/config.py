@@ -247,6 +247,59 @@ class SkyByteConfig:
 
 
 @dataclass(frozen=True)
+class QoSConfig:
+    """Multi-tenant isolation knobs (see ``docs/QOS.md``).
+
+    Everything a backend needs to attribute traffic to tenants travels
+    inside the config -- partitions, thread ownership, weights -- so a
+    trace replayed on any backend (process pool, distributed service)
+    reconstructs the exact same QoS behaviour from the embedded config
+    alone, with no side-channel plan object.
+
+    The default (``isolation="none"``, empty tuples) is serialisation-
+    invisible: :meth:`SimConfig.to_dict` omits the ``qos`` key entirely
+    so golden digests and cache keys of non-QoS runs are unchanged.
+    """
+
+    #: Mechanism: "none", "wfq" (weighted-fair flash queues + weighted
+    #: host CFS), "priority" (strict-priority flash queues + host sched),
+    #: "log-partition" (per-tenant write-log shares), or "cache-quota"
+    #: (per-tenant data-cache quotas).
+    isolation: str = "none"
+    #: Per-tenant disjoint address partitions: ((base_page, pages), ...).
+    partitions: tuple = ()
+    #: Owning tenant index for each software thread.
+    tenant_of_thread: tuple = ()
+    #: Per-tenant weights (wfq / log-partition / cache-quota shares).
+    weights: tuple = ()
+    #: Per-tenant priorities (higher wins) for "priority" isolation.
+    priorities: tuple = ()
+    #: Read-latency SLO used by the violation-rate figure.
+    slo_read_ns: float = 20_000.0
+
+    @property
+    def tenants(self) -> int:
+        return len(self.partitions)
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "QoSConfig":
+        """Rebuild from JSON-safe dict output (lists re-tupled)."""
+        return QoSConfig(
+            isolation=str(data.get("isolation", "none")),
+            partitions=tuple(
+                (int(base), int(pages))
+                for base, pages in data.get("partitions", ())
+            ),
+            tenant_of_thread=tuple(
+                int(t) for t in data.get("tenant_of_thread", ())
+            ),
+            weights=tuple(float(w) for w in data.get("weights", ())),
+            priorities=tuple(int(p) for p in data.get("priorities", ())),
+            slo_read_ns=float(data.get("slo_read_ns", 20_000.0)),
+        )
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Top-level simulation configuration."""
 
@@ -268,14 +321,23 @@ class SimConfig:
     warmup_fraction: float = 1.0
     #: RNG seed threaded through every stochastic component.
     seed: int = 42
+    #: Multi-tenant isolation knobs; the default is serialisation-invisible.
+    qos: QoSConfig = field(default_factory=QoSConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
         """Return a copy with top-level fields replaced."""
         return dataclasses.replace(self, **kwargs)
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form (JSON-safe) for caching and IPC."""
-        return dataclasses.asdict(self)
+        """Plain-dict form (JSON-safe) for caching and IPC.
+
+        A default :class:`QoSConfig` is omitted so every pre-QoS digest
+        (golden suites, result-cache keys) is byte-identical.
+        """
+        data = dataclasses.asdict(self)
+        if self.qos == QoSConfig():
+            del data["qos"]
+        return data
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "SimConfig":
@@ -293,6 +355,8 @@ class SimConfig:
             threads=int(data["threads"]),
             warmup_fraction=float(data["warmup_fraction"]),
             seed=int(data["seed"]),
+            qos=QoSConfig.from_dict(data["qos"]) if data.get("qos")
+            else QoSConfig(),
         )
 
     def with_ssd(self, **kwargs) -> "SimConfig":
@@ -306,6 +370,9 @@ class SimConfig:
 
     def with_skybyte(self, **kwargs) -> "SimConfig":
         return self.replace(skybyte=dataclasses.replace(self.skybyte, **kwargs))
+
+    def with_qos(self, **kwargs) -> "SimConfig":
+        return self.replace(qos=dataclasses.replace(self.qos, **kwargs))
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.config import SimConfig
 from repro.core.dram_manager import SkyByteDRAMManager
 from repro.core.trigger import ContextSwitchTrigger, TriggerDecision
 from repro.cxl.protocol import MemRequest
+from repro.qos import FlashPacingArbiter, build_tenant_map
 from repro.sim import fastpath
 from repro.sim.engine import Engine
 from repro.sim.stats import SimStats, SSD_READ_HIT, SSD_READ_MISS, SSD_WRITE
@@ -45,8 +46,23 @@ class SkyByteController:
         self.ftl = PageFTL(self._ssd.geometry, seed=config.seed)
         self.flash = FlashArray(self._ssd.geometry, self._ssd.timing, engine, stats)
         self.gc = GarbageCollector(self._ssd, self.ftl, self.flash, engine, stats)
+        # Tenant QoS (docs/QOS.md): attribution map from the config, the
+        # admission arbiter on the flash array for "wfq"/"priority".
+        self.tenant_map = build_tenant_map(config.qos)
+        self._flash_qos = (
+            self.tenant_map is not None and self.tenant_map.flash_scheduling
+        )
+        if self._flash_qos:
+            geo = self._ssd.geometry
+            self.flash.arbiter = FlashPacingArbiter(
+                self.tenant_map,
+                geo.channels,
+                geo.chips_per_channel * geo.dies_per_chip,
+                self._ssd.timing.read_ns,
+            )
         self.dram = SkyByteDRAMManager(
-            self._ssd, self.ftl, self.flash, self.gc, engine, stats
+            self._ssd, self.ftl, self.flash, self.gc, engine, stats,
+            qos=self.tenant_map,
         )
         if ctx_switch_enabled is None:
             ctx_switch_enabled = config.skybyte.device_triggered_ctx_swt
@@ -157,7 +173,10 @@ class SkyByteController:
         # Decide the context-switch hint *before* the fetch mutates the
         # channel queue (the estimate is for the state the request sees).
         decision = self._pre_read_decision(lpa, line)
-        outcome = self.dram.read(lpa, line, now)
+        tenant = (
+            self.tenant_map.tenant_of_page(lpa) if self._flash_qos else None
+        )
+        outcome = self.dram.read(lpa, line, now, tenant)
         if outcome.hit:
             # Hit: the common case, with the stats mutators inlined
             # (skipping the ``+= 0.0`` component adds is exact).
@@ -239,7 +258,10 @@ class SkyByteController:
             ppa = self.ftl.translate(nxt)
             if ppa is None:
                 continue
-            ready = self.flash.read_page(ppa, now)
+            tenant = (
+                self.tenant_map.tenant_of_page(nxt) if self._flash_qos else None
+            )
+            ready = self.flash.read_page(ppa, now, tenant=tenant)
             merged = 0
             for line_offset in self.dram.write_log.lines_for_page(nxt):
                 merged |= 1 << line_offset

@@ -87,3 +87,62 @@ class SkyByteDataCache:
 
     def entries(self):
         return self._cache.entries()
+
+
+class QuotaDataCache:
+    """Per-tenant data-cache quotas ("cache-quota" isolation).
+
+    The shared page cache is carved into per-tenant set-associative
+    shares sized proportionally to tenant weights, so a scan-heavy
+    tenant evicts only inside its own quota instead of flushing its
+    neighbours' working sets.  Same interface as
+    :class:`SkyByteDataCache`; pages outside every partition use
+    share 0.
+    """
+
+    def __init__(self, capacity_pages: int, ways: int, stats: SimStats,
+                 tenant_map) -> None:
+        from repro.qos import partition_capacities
+
+        self._map = tenant_map
+        shares = partition_capacities(
+            capacity_pages, tenant_map.weights, minimum=1
+        )
+        self.shards = [
+            SkyByteDataCache(share, ways, stats) for share in shares
+        ]
+
+    def _shard(self, lpa: int) -> SkyByteDataCache:
+        tenant = self._map.tenant_of_page(lpa)
+        return self.shards[tenant if tenant is not None else 0]
+
+    @property
+    def capacity_pages(self) -> int:
+        return sum(s.capacity_pages for s in self.shards)
+
+    def __contains__(self, lpa: int) -> bool:
+        return lpa in self._shard(lpa)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def lookup(self, lpa: int, line: int) -> Optional[CacheEntry]:
+        return self._shard(lpa).lookup(lpa, line)
+
+    def update_on_write(self, lpa: int, line: int) -> bool:
+        return self._shard(lpa).update_on_write(lpa, line)
+
+    def fill(
+        self, lpa: int, touch_line: Optional[int], merged_lines: int
+    ) -> Optional[CacheEntry]:
+        return self._shard(lpa).fill(lpa, touch_line, merged_lines)
+
+    def peek(self, lpa: int) -> Optional[CacheEntry]:
+        return self._shard(lpa).peek(lpa)
+
+    def invalidate(self, lpa: int) -> Optional[CacheEntry]:
+        return self._shard(lpa).invalidate(lpa)
+
+    def entries(self):
+        for shard in self.shards:
+            yield from shard.entries()

@@ -26,10 +26,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.config import SSDConfig
 from repro.core.compaction import LogCompactor
-from repro.core.data_cache import SkyByteDataCache
-from repro.core.write_log import WriteLog
+from repro.core.data_cache import QuotaDataCache, SkyByteDataCache
+from repro.core.write_log import PartitionedWriteLog, WriteLog
 from repro.sim.engine import Engine
 from repro.sim.stats import SimStats
 from repro.ssd.flash import FlashArray
@@ -68,6 +70,7 @@ class SkyByteDRAMManager:
         gc: GarbageCollector,
         engine: Engine,
         stats: SimStats,
+        qos=None,
     ) -> None:
         self._config = config
         self._ftl = ftl
@@ -75,16 +78,32 @@ class SkyByteDRAMManager:
         self._gc = gc
         self._engine = engine
         self._stats = stats
-        self.write_log = WriteLog(config.write_log_entries)
+        # ``qos`` is a repro.qos.TenantMap (or None).  It selects the
+        # write-log / data-cache organisation; the flash arbiter is
+        # installed by the controller.
+        self._qos = qos
+        if qos is not None and qos.log_partitioning:
+            self.write_log = PartitionedWriteLog(config.write_log_entries, qos)
+        else:
+            self.write_log = WriteLog(config.write_log_entries)
         cache_pages = max(1, config.data_cache_bytes // config.geometry.page_size)
-        self.data_cache = SkyByteDataCache(cache_pages, config.cache_ways, stats)
+        if qos is not None and qos.cache_quota:
+            self.data_cache = QuotaDataCache(
+                cache_pages, config.cache_ways, stats, qos
+            )
+        else:
+            self.data_cache = SkyByteDataCache(
+                cache_pages, config.cache_ways, stats
+            )
         self.compactor = LogCompactor(
             config, self.write_log, self.data_cache, ftl, flash, gc, engine, stats
         )
 
     # -- read path ------------------------------------------------------------
 
-    def read(self, lpa: int, line: int, now: float) -> ReadOutcome:
+    def read(
+        self, lpa: int, line: int, now: float, tenant: Optional[int] = None
+    ) -> ReadOutcome:
         """Parallel lookup of data cache and write log (R1/R2/R3)."""
         cache_idx = self._config.cache_index_ns
         log_idx = self._config.log_index_ns
@@ -117,7 +136,9 @@ class SkyByteDRAMManager:
             # Never-written page: zero-fill without flash access.
             flash_ready = now + indexing
         else:
-            flash_ready = self._flash.read_page(ppa, now + indexing)
+            flash_ready = self._flash.read_page(
+                ppa, now + indexing, tenant=tenant
+            )
         merged_mask = 0
         for line_offset in self.write_log.lines_for_page(lpa):
             merged_mask |= 1 << line_offset
@@ -138,29 +159,36 @@ class SkyByteDRAMManager:
     # -- write path --------------------------------------------------------------
 
     def write(self, lpa: int, line: int, now: float) -> WriteOutcome:
-        """W1 append + W2 parallel cache update + W3 index update."""
+        """W1 append + W2 parallel cache update + W3 index update.
+
+        All log operations go through ``log_for(lpa)``: the whole log in
+        the default organisation, the owning tenant's share under
+        "log-partition" isolation -- so a stalled writer waits only on
+        *its own* share's drain horizon, never a neighbour's.
+        """
+        log = self.write_log.log_for(lpa)
         log_idx = self._config.log_index_ns
         stalled = 0.0
-        if self.write_log.active.full:
+        if log.active.full:
             # Both buffers saturated: wait for the draining one.  The
             # engine's finish event may not have fired yet at this logical
             # time, so reclaim the drained buffer directly.
-            if not self.write_log.can_swap():
-                wait_until = self.compactor.active_until
+            if not log.can_swap():
+                wait_until = log.drain_until
                 stalled = max(0.0, wait_until - now)
                 now = max(now, wait_until)
-                if self.write_log.standby.draining:
-                    self.write_log.standby.reset()
-            self._swap_and_compact(now)
-        self.write_log.append(lpa, line)
+                if log.standby.draining:
+                    log.standby.reset()
+            self._swap_and_compact(log, now)
+        log.append(lpa, line)
         if self._stats.enabled:
             self._stats.log_appends += 1
         self.data_cache.update_on_write(lpa, line)
-        high_water = self.write_log.active.used >= int(
-            self.COMPACT_HIGH_WATER * self.write_log.active.capacity
+        high_water = log.active.used >= int(
+            self.COMPACT_HIGH_WATER * log.active.capacity
         )
-        if high_water and self.write_log.can_swap():
-            self._swap_and_compact(now)
+        if high_water and log.can_swap():
+            self._swap_and_compact(log, now)
         return WriteOutcome(
             ready_ns=now + log_idx,
             indexing_ns=log_idx,
@@ -185,21 +213,23 @@ class SkyByteDRAMManager:
     def warm_write(self, lpa: int, line: int) -> None:
         """Warmup replay of a write: append to the log without scheduling
         compaction; a full buffer is silently recycled."""
-        if self.write_log.active.full:
-            if self.write_log.can_swap():
-                self.write_log.swap()
-            self.write_log.standby.reset()
-            if self.write_log.active.full:
-                self.write_log.swap()
-                self.write_log.standby.reset()
-        self.write_log.append(lpa, line)
+        log = self.write_log.log_for(lpa)
+        if log.active.full:
+            if log.can_swap():
+                log.swap()
+            log.standby.reset()
+            if log.active.full:
+                log.swap()
+                log.standby.reset()
+        log.append(lpa, line)
         self.data_cache.update_on_write(lpa, line)
 
     # -- maintenance -----------------------------------------------------------------
 
-    def _swap_and_compact(self, now: float) -> None:
-        full_buffer = self.write_log.swap()
-        self.compactor.compact(full_buffer, now)
+    def _swap_and_compact(self, log: WriteLog, now: float) -> None:
+        full_buffer = log.swap()
+        completion = self.compactor.compact(full_buffer, now)
+        log.drain_until = max(log.drain_until, completion)
 
     def flush_all(self, now: float) -> float:
         """Drain both buffers (end-of-run accounting)."""

@@ -85,6 +85,15 @@ class WriteLog:
         self._active = 0
         self.total_appends = 0
         self.coalesced_appends = 0
+        #: Completion horizon of this log's in-flight compaction; the
+        #: DRAM manager stalls a blocked writer only against the horizon
+        #: of the log its write lands in (per-tenant under partitioning).
+        self.drain_until = 0.0
+
+    def log_for(self, lpa: int) -> "WriteLog":
+        """The log responsible for ``lpa`` (self; overridden when
+        partitioned)."""
+        return self
 
     @property
     def active(self) -> LogBuffer:
@@ -161,3 +170,80 @@ class WriteLog:
     def memory_bytes(self) -> int:
         """Index footprint under the paper's sizing model."""
         return sum(b.index.memory_bytes for b in self.buffers)
+
+    def all_logs(self):
+        """Every underlying :class:`WriteLog` (one here; N when
+        partitioned)."""
+        return (self,)
+
+
+class PartitionedWriteLog:
+    """Per-tenant write-log shares ("log-partition" isolation).
+
+    Each tenant owns a private double-buffered :class:`WriteLog` sized
+    proportionally to its weight, so one tenant's write burst fills (and
+    compacts) only its own share instead of stealing the whole log's
+    coalescing window.  Lookups route by the page's owning partition;
+    aggregate counters sum the shares so stats and reports are unchanged
+    in shape.  Pages outside every tenant partition fall back to share 0.
+    """
+
+    def __init__(self, capacity_entries: int, tenant_map,
+                 index_cls=None) -> None:
+        from repro.qos import partition_capacities
+
+        self._map = tenant_map
+        shares = partition_capacities(
+            capacity_entries, tenant_map.weights, minimum=2
+        )
+        self.logs = [WriteLog(share, index_cls) for share in shares]
+
+    def log_for(self, lpa: int) -> WriteLog:
+        tenant = self._map.tenant_of_page(lpa)
+        return self.logs[tenant if tenant is not None else 0]
+
+    def all_logs(self):
+        return tuple(self.logs)
+
+    # -- routed queries -----------------------------------------------------
+
+    def lookup(self, lpa: int, line_offset: int) -> Optional[int]:
+        return self.log_for(lpa).lookup(lpa, line_offset)
+
+    def has_line(self, lpa: int, line_offset: int) -> bool:
+        return self.log_for(lpa).has_line(lpa, line_offset)
+
+    def has_page(self, lpa: int) -> bool:
+        return self.log_for(lpa).has_page(lpa)
+
+    def lines_for_page(self, lpa: int) -> Dict[int, int]:
+        return self.log_for(lpa).lines_for_page(lpa)
+
+    def remove_page(self, lpa: int) -> int:
+        return self.log_for(lpa).remove_page(lpa)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def buffers(self):
+        return [b for log in self.logs for b in log.buffers]
+
+    @property
+    def total_appends(self) -> int:
+        return sum(log.total_appends for log in self.logs)
+
+    @property
+    def coalesced_appends(self) -> int:
+        return sum(log.coalesced_appends for log in self.logs)
+
+    @property
+    def capacity_entries(self) -> int:
+        return sum(log.capacity_entries for log in self.logs)
+
+    @property
+    def used_entries(self) -> int:
+        return sum(log.used_entries for log in self.logs)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(log.memory_bytes for log in self.logs)

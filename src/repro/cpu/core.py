@@ -120,7 +120,9 @@ class Core:
         compute_ns = window.instructions * self._cycle_ns / self._ipc
 
         if self._dram_fast:
-            completes = self._system.dram_window_access(window.ops, now)
+            completes = self._system.dram_window_access(
+                window.ops, now, thread.tid
+            )
             self._retire_values(thread, window, completes, compute_ns, now)
             return
 

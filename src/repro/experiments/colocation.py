@@ -41,7 +41,7 @@ from repro.scenarios.colocate import (
     Tenant,
     build_colocation,
 )
-from repro.sim.stats import SimStats
+from repro.sim.stats import HOST_DRAM, SimStats
 from repro.sim.system import System
 from repro.ssd.interface import AccessResult
 from repro.variants import DesignVariant, get_variant
@@ -97,6 +97,21 @@ class ColocatedSystem(System):
             })
         return result
 
+    def dram_window_access(self, ops, now, tid: int = -1):
+        """DRAM-only fast path with per-tenant mirroring: the batched
+        window loop stays vectorized (no per-access ``memory_access``
+        fallback); attribution replays the same latency arithmetic on
+        the returned completion times."""
+        completes = super().dram_window_access(ops, now, tid)
+        if self.stats.enabled and tid >= 0:
+            tenant = self.tenant_stats[self.plan.tenant_of_thread[tid]]
+            for complete in completes:
+                latency = complete - now
+                tenant.count_request(HOST_DRAM)
+                tenant.record_offchip(latency if latency > 1.0 else 1.0)
+                tenant.record_amat(host_dram=latency)
+        return completes
+
     def on_thread_done(self, thread) -> None:
         super().on_thread_done(thread)
         index = self.plan.tenant_of_thread[thread.tid]
@@ -114,14 +129,29 @@ def run_colocation(
     seed: int = 42,
     timing: str = "ULL",
     max_ns: Optional[float] = None,
+    isolation: str = "none",
+    weights: Optional[Sequence[float]] = None,
+    priorities: Optional[Sequence[int]] = None,
+    slo_read_ns: float = 20_000.0,
 ) -> ColocatedSystem:
-    """Build and execute one colocated run; returns the finished system."""
+    """Build and execute one colocated run; returns the finished system.
+
+    ``isolation`` selects a tenant-QoS mechanism (``"wfq"``,
+    ``"priority"``, ``"log-partition"``, ``"cache-quota"``; see
+    ``docs/QOS.md``).  The default ``"none"`` leaves the config -- and
+    therefore every digest -- exactly as before.
+    """
     records = records_per_thread or default_records()
     plan = build_colocation(tenants, scale=scale, records_per_thread=records)
     design = get_variant(variant)
     config = scaled_config(
         scale=scale, threads=len(plan.traces), timing=timing, seed=seed
     ).replace(warmup_fraction=0.1)
+    if isolation != "none":
+        config = config.replace(qos=plan.qos_config(
+            isolation, weights=weights, priorities=priorities,
+            slo_read_ns=slo_read_ns,
+        ))
     system = ColocatedSystem(config, plan, design)
     system.run(max_ns=max_ns)
     return system

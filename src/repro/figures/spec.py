@@ -370,6 +370,39 @@ def _shape_colocation(data) -> List[Chart]:
     return [slowdown, requests, amat]
 
 
+def _shape_qos(data) -> List[Chart]:
+    """SLO-violation stack at the largest tenant count, plus the
+    worst-tenant p99 scaling curve -- the stacked + line pair of the
+    tenant-QoS figure (see docs/QOS.md)."""
+    sweep = data["sweep"]
+    counts = [str(c) for c in data["tenant_counts"]]
+    top = counts[-1] if counts else None
+    slo_us = float(data["slo_read_ns"]) / 1000.0
+    charts = []
+    if top is not None:
+        charts.append(_stacked(
+            f"QoS: SLO-violation rate by scenario at {top} tenants",
+            {isolation: dict(
+                sweep[isolation][top]["violation_rate_by_scenario"])
+             for isolation in data["isolations"]},
+            "violation rate per scenario (stacked)",
+            subtitle=f"fraction of requests slower than the "
+                     f"{slo_us:g} us read SLO, per tenant scenario",
+        ))
+    charts.append(_line(
+        "QoS: worst-tenant p99 vs tenant count",
+        {isolation: [
+            (float(c), sweep[isolation][c]["worst_p99_ns"])
+            for c in counts]
+         for isolation in data["isolations"]},
+        "tenants", "worst per-tenant p99 off-chip latency (ns)",
+        log_x=True,
+        subtitle=f"variant {data.get('variant', '?')}; "
+                 "lower and flatter is better isolation",
+    ))
+    return charts
+
+
 def _shape_prefetch(data) -> List[Chart]:
     return [_single_bar(
         "Ablation: baseline sequential prefetch gain",
@@ -503,6 +536,14 @@ SPECS: Dict[str, ChartSpec] = {
                   "request-class and AMAT breakdowns, when N scenario "
                   "tenants share one device (see docs/SCENARIOS.md).",
                   _shape_colocation),
+        ChartSpec("qos", "Tenant QoS at scale", "repro QOS",
+                  "line", "the library scenario mix (web-tier, "
+                  "analytics-scan, graph-walk, log-ingest)",
+                  "isolation mechanisms none/wfq/priority/"
+                  "log-partition/cache-quota",
+                  "Per-tenant p99 and SLO-violation rate vs tenant "
+                  "count under each isolation mechanism "
+                  "(see docs/QOS.md).", _shape_qos),
         ChartSpec("cost", "Cost-effectiveness", "SS VI-B", "bar",
                   _ALL_WORKLOADS, "DRAM-Only vs SkyByte-Full",
                   "Performance fraction and $-ratio arithmetic "

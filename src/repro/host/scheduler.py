@@ -38,6 +38,17 @@ class Scheduler:
         self._rng = random.Random(seed)
         self._queue: List[ThreadContext] = []
         self._waiting_cores: List = []  # cores parked for lack of work
+        self._tenant_map = None  # set via set_tenant_qos
+
+    def set_tenant_qos(self, tenant_map) -> None:
+        """Install tenant-aware FAIRNESS picking (see :mod:`repro.qos`).
+
+        Under "wfq" the pick key becomes weight-scaled virtual runtime
+        (``runtime / weight``), so with one tenant of weight 1.0 the
+        ordering is bit-identical to plain CFS.  Under "priority" the
+        highest tenant priority wins, fair runtime within a level.
+        """
+        self._tenant_map = tenant_map
 
     # -- queue operations ---------------------------------------------------
 
@@ -84,6 +95,17 @@ class Scheduler:
         return self._queue.pop(idx)
 
     def _pick_fair(self) -> ThreadContext:
+        if self._tenant_map is not None:
+            from repro.qos import weighted_pick_key
+
+            tmap = self._tenant_map
+            best_i = min(
+                range(len(self._queue)),
+                key=lambda i: weighted_pick_key(
+                    self._queue[i].runtime_ns, self._queue[i].tid, tmap
+                ),
+            )
+            return self._queue.pop(best_i)
         best_i = min(
             range(len(self._queue)),
             key=lambda i: (self._queue[i].runtime_ns, self._queue[i].tid),

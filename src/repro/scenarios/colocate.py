@@ -101,6 +101,31 @@ class ColocationPlan:
             "mlp": self.mlp,
         }
 
+    def qos_config(
+        self,
+        isolation: str,
+        weights: Optional[Sequence[float]] = None,
+        priorities: Optional[Sequence[int]] = None,
+        slo_read_ns: float = 20_000.0,
+    ) -> "QoSConfig":
+        """A :class:`~repro.config.QoSConfig` activating ``isolation``
+        for this plan's tenants.  Everything a backend needs (partitions,
+        thread ownership, weights) is baked in, so embedding the result
+        in a trace's config makes replay QoS-identical anywhere."""
+        from repro.config import QoSConfig
+
+        n = len(self.tenants)
+        return QoSConfig(
+            isolation=isolation,
+            partitions=tuple((base, pages) for base, pages in self.partitions),
+            tenant_of_thread=tuple(self.tenant_of_thread),
+            weights=tuple(weights) if weights is not None
+            else (1.0,) * n,
+            priorities=tuple(priorities) if priorities is not None
+            else (0,) * n,
+            slo_read_ns=slo_read_ns,
+        )
+
 
 def build_colocation(
     tenants: Sequence[Tenant],

@@ -124,6 +124,28 @@ class LatencyHistogram:
             seen += self._counts[bucket]
         return seen / self._total
 
+    def count_above(self, latency_ns: float) -> int:
+        """Number of samples in buckets whose upper edge exceeds
+        ``latency_ns`` -- the SLO-violation counter."""
+        seen = 0
+        for bucket, count in self._counts.items():
+            edge = 10 ** ((bucket + 1) / self.BUCKETS_PER_DECADE)
+            if edge > latency_ns:
+                seen += count
+        return seen
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (bucket-exact:
+        merging then querying equals recording every sample here)."""
+        for bucket, count in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
+        self._total += other._total
+        self._sum += other._sum
+        if other._max > self._max:
+            self._max = other._max
+        if other._min < self._min:
+            self._min = other._min
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form (bucket keys become strings; an empty
         histogram stores ``min`` as ``None`` instead of ``inf``)."""
@@ -192,6 +214,11 @@ class LocalityTracker:
             return 0.0
         touched = sum(k * c for k, c in enumerate(self._counts))
         return touched / (self._total * CACHELINES_PER_PAGE)
+
+    def merge(self, other: "LocalityTracker") -> None:
+        for k, count in enumerate(other._counts):
+            self._counts[k] += count
+        self._total += other._total
 
     def to_dict(self) -> Dict[str, object]:
         return {"counts": list(self._counts), "total": self._total}
@@ -478,6 +505,31 @@ class SimStats:
         if total == 0:
             return {c: 0.0 for c in REQUEST_CLASSES}
         return {c: self.request_counts[c] / total for c in REQUEST_CLASSES}
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "SimStats") -> None:
+        """Fold ``other`` into this object: scalar counters and request
+        counts add, histograms and locality trackers merge bucket-wise,
+        and the measurement window becomes the union
+        (``start = min``, ``end = max``).  Summing per-tenant stats this
+        way reproduces the aggregate exactly (the conservation property
+        pinned in ``tests/test_stats.py``)."""
+        for name in SCALAR_STATS:
+            if name == "start_ns":
+                self.start_ns = min(self.start_ns, other.start_ns)
+            elif name == "end_ns":
+                self.end_ns = max(self.end_ns, other.end_ns)
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+        for cls_name, count in other.request_counts.items():
+            self.request_counts[cls_name] = (
+                self.request_counts.get(cls_name, 0) + count
+            )
+        self.offchip_latency.merge(other.offchip_latency)
+        self.flash_read_latency.merge(other.flash_read_latency)
+        self.read_locality.merge(other.read_locality)
+        self.write_locality.merge(other.write_locality)
 
     # -- serialization -------------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.cxl.protocol import M2SOpcode, MemRequest
 from repro.host.page_table import PageTable
 from repro.host.scheduler import Scheduler
 from repro.host.threads import ThreadContext
+from repro.qos import build_tenant_map
 from repro.sim import fastpath
 from repro.sim.engine import Engine
 from repro.sim.stats import HOST_DRAM, SimStats
@@ -63,6 +64,12 @@ class System:
         self.host_dram = HostDRAM(self.config.cpu)
         self.page_table = PageTable()
         self.scheduler = Scheduler(self.config.os.t_policy, seed=self.config.seed)
+        # Host-side tenant QoS ("wfq"/"priority" isolation): weighted or
+        # priority-aware CFS picking, reconstructed from the config alone
+        # so trace replay behaves identically on every backend.
+        qos_map = build_tenant_map(self.config.qos)
+        if qos_map is not None and qos_map.host_scheduling:
+            self.scheduler.set_tenant_qos(qos_map)
 
         # Precomputed wire timing for the fused CXL fast path: per-message
         # byte counts and serialisation delays for the four message sizes
@@ -213,9 +220,12 @@ class System:
         return self._cxl_access(request, is_write, now)
 
     def dram_window_access(
-        self, ops: Sequence[TraceRecord], now: float
+        self, ops: Sequence[TraceRecord], now: float, tid: int = -1
     ) -> List[float]:
         """Batched DRAM-only window: the device-latency inner loop.
+
+        ``tid`` identifies the issuing thread so multi-tenant subclasses
+        can attribute the window to a tenant; the base loop ignores it.
 
         Replays ``len(ops)`` host-DRAM accesses issued at the same
         ``now`` in one float loop, replicating :meth:`memory_access`'s

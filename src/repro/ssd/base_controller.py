@@ -17,6 +17,7 @@ from typing import Dict, Optional
 from repro.config import SimConfig
 from repro.cxl.protocol import MemRequest
 from repro.core.trigger import ContextSwitchTrigger
+from repro.qos import FlashPacingArbiter, build_tenant_map
 from repro.sim import fastpath
 from repro.sim.engine import Engine
 from repro.sim.stats import SimStats, SSD_READ_HIT, SSD_READ_MISS, SSD_WRITE
@@ -44,6 +45,21 @@ class BaseCSSDController:
         self.ftl = PageFTL(self._ssd.geometry, seed=config.seed)
         self.flash = FlashArray(self._ssd.geometry, self._ssd.timing, engine, stats)
         self.gc = GarbageCollector(self._ssd, self.ftl, self.flash, engine, stats)
+        # Tenant QoS: the baseline supports the flash admission arbiter
+        # ("wfq"/"priority"), so a QoS trace replays with isolation active
+        # under any device personality (docs/QOS.md).
+        self.tenant_map = build_tenant_map(config.qos)
+        self._flash_qos = (
+            self.tenant_map is not None and self.tenant_map.flash_scheduling
+        )
+        if self._flash_qos:
+            geo = self._ssd.geometry
+            self.flash.arbiter = FlashPacingArbiter(
+                self.tenant_map,
+                geo.channels,
+                geo.chips_per_channel * geo.dies_per_chip,
+                self._ssd.timing.read_ns,
+            )
         # The whole SSD DRAM is one page cache in the baseline.
         cache_pages = max(1, self._ssd.dram_bytes // self._ssd.geometry.page_size)
         self.cache = SetAssociativePageCache(cache_pages, self._ssd.cache_ways)
@@ -290,7 +306,10 @@ class BaseCSSDController:
             self._run_gc_check(ppa, now)
             ready = now
         else:
-            ready = self.flash.read_page(ppa, now)
+            tenant = (
+                self.tenant_map.tenant_of_page(lpa) if self._flash_qos else None
+            )
+            ready = self.flash.read_page(ppa, now, tenant=tenant)
         victim = self.cache.insert(lpa, touch_line=touch_line)
         if victim is not None:
             if self._stats.enabled:
@@ -326,7 +345,10 @@ class BaseCSSDController:
             ppa = self.ftl.translate(nxt)
             if ppa is None:
                 continue
-            ready = self.flash.read_page(ppa, now)
+            tenant = (
+                self.tenant_map.tenant_of_page(nxt) if self._flash_qos else None
+            )
+            ready = self.flash.read_page(ppa, now, tenant=tenant)
             victim = self.cache.insert(nxt)
             if self._stats.enabled:
                 self._stats.prefetch_issued += 1

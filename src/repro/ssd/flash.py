@@ -207,6 +207,9 @@ class FlashArray:
             FlashChannel(i, dies, timing, engine, transfer_ns)
             for i in range(geometry.channels)
         ]
+        #: Optional tenant-QoS admission arbiter (see :mod:`repro.qos`).
+        #: ``None`` keeps the unarbitrated fast path untouched.
+        self.arbiter = None
 
     # -- address arithmetic ----------------------------------------------------
 
@@ -229,14 +232,30 @@ class FlashArray:
     # -- timed operations --------------------------------------------------------
 
     def read_page(
-        self, ppa: int, now: float, on_done: Optional[Callable[[], None]] = None
+        self,
+        ppa: int,
+        now: float,
+        on_done: Optional[Callable[[], None]] = None,
+        tenant: Optional[int] = None,
     ) -> float:
-        """Submit a page read; returns its completion time."""
+        """Submit a page read; returns its completion time.
+
+        With an installed :attr:`arbiter` and a known ``tenant``, the
+        submit instant is gated by the tenant's admission pacing; the
+        recorded flash latency still runs from the request's ``now`` so
+        queueing delay imposed by QoS shows up in the tenant's tail.
+        """
         self._check_ppa(ppa)
         if self._stats.enabled:
             self._stats.flash_page_reads += 1
-        channel = self.channels[self.channel_of(ppa)]
-        done = channel.submit_read(now, on_done)
+        index = self.channel_of(ppa)
+        channel = self.channels[index]
+        if self.arbiter is not None and tenant is not None:
+            issue = self.arbiter.admit(index, tenant, now)
+            done = channel.submit_read(issue, on_done)
+            self.arbiter.note_completion(index, tenant, done)
+        else:
+            done = channel.submit_read(now, on_done)
         self._stats.record_flash_read(done - now)
         return done
 

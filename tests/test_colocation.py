@@ -180,6 +180,66 @@ def test_capture_replays_bit_exactly_on_all_backends(tmp_path, spawn_worker):
     assert canonical_stats(distributed.stats) == reference
 
 
+# ---------------------------------------------------------------------------
+# Tenant QoS (docs/QOS.md)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "isolation", ["none", "wfq", "priority", "log-partition", "cache-quota"]
+)
+def test_single_tenant_isolation_is_identity(isolation):
+    """Differential pin: with one tenant there is nothing to isolate, so
+    every mechanism must degenerate to the unprotected path bit for bit
+    -- the colocated run's stats match a plain ``run_workload`` of the
+    same scenario/threads/seed byte-identically."""
+    tenant = [Tenant(name="web", scenario="web-tier", threads=2, seed=7)]
+    solo = run_workload("web-tier", "SkyByte-Full",
+                        records_per_thread=RECORDS, threads=2, seed=7)
+    system = run_colocation(tenant, variant="SkyByte-Full",
+                            records_per_thread=RECORDS, seed=7,
+                            isolation=isolation)
+    assert canonical_stats(system.stats) == canonical_stats(solo.stats)
+
+
+def test_multi_tenant_qos_config_is_embedded():
+    from repro.experiments.qos import mix_tenants, tenant_weights
+
+    tenants = mix_tenants(4, records_per_thread=20)
+    system = run_colocation(tenants, records_per_thread=20, isolation="wfq",
+                            weights=tenant_weights(tenants))
+    qos = system.config.qos
+    assert qos.isolation == "wfq"
+    assert len(qos.partitions) == 4
+    assert qos.tenant_of_thread == (0, 1, 2, 3)
+    assert "qos" in system.config.to_dict()  # replayable from the config
+
+
+@pytest.mark.parametrize("isolation", ["wfq", "log-partition", "cache-quota"])
+def test_hundred_tenant_sweep_completes(isolation):
+    """The scale pin: each mechanism family handles hundreds of tenants
+    (one thread each) with every tenant attributed and accounted."""
+    from repro.experiments.qos import (
+        mix_tenants,
+        tenant_priorities,
+        tenant_weights,
+    )
+
+    tenants = mix_tenants(100, records_per_thread=12)
+    system = run_colocation(
+        tenants,
+        variant="SkyByte-Full",
+        records_per_thread=12,
+        isolation=isolation,
+        weights=tenant_weights(tenants),
+        priorities=tenant_priorities(tenants),
+    )
+    assert system.stats.execution_ns > 0
+    assert len(system.tenant_stats) == 100
+    assert all(s.offchip_latency.count > 0 for s in system.tenant_stats)
+    assert all(end > 0 for end in system.tenant_end_ns)
+
+
 def test_replay_cache_key_tracks_file_content(tmp_path):
     plan = build_colocation(TENANTS, scale=512, records_per_thread=RECORDS)
     path = tmp_path / "coloc.sbt"

@@ -1,0 +1,342 @@
+"""Property tests for the tenant QoS mechanisms (docs/QOS.md).
+
+The fairness claims the flash admission arbiter makes -- work
+conservation when contention vanishes, GPS weight shares under
+saturation -- are exactly the kind of claims examples cannot pin down,
+so they are tested as hypothesis properties over random weight vectors
+and arrival sequences.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import QoSConfig
+from repro.host.scheduler import Scheduler
+from repro.host.threads import ThreadContext
+from repro.qos import (
+    FlashPacingArbiter,
+    TenantMap,
+    build_tenant_map,
+    partition_capacities,
+    weighted_pick_key,
+)
+
+READ_NS = 3000.0
+
+
+def make_map(isolation, weights=(), priorities=(), tenants=None,
+             pages_per_tenant=64, tenant_of_thread=()):
+    n = tenants if tenants is not None else max(
+        len(weights), len(priorities), 2)
+    parts = tuple(
+        (i * pages_per_tenant, pages_per_tenant) for i in range(n))
+    return TenantMap(QoSConfig(
+        isolation=isolation,
+        partitions=parts,
+        tenant_of_thread=tuple(tenant_of_thread),
+        weights=tuple(weights),
+        priorities=tuple(priorities),
+    ))
+
+
+def make_arbiter(isolation, weights=(), priorities=(), dies=4,
+                 channels=1, tenants=None):
+    tmap = make_map(isolation, weights=weights, priorities=priorities,
+                    tenants=tenants)
+    return FlashPacingArbiter(tmap, channels, dies, READ_NS)
+
+
+# -- work conservation -------------------------------------------------------
+
+
+class TestWorkConservation:
+    def test_lone_tenant_admitted_immediately(self):
+        arb = make_arbiter("wfq", weights=(1.0, 1.0))
+        assert arb.admit(0, 0, 1234.5) == 1234.5
+
+    @given(
+        weights=st.lists(st.floats(min_value=0.25, max_value=8.0),
+                         min_size=2, max_size=6),
+        events=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=5),
+                      st.floats(min_value=0.0, max_value=1e6)),
+            min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quiescent_admit_returns_now_exactly(self, weights, events):
+        """However tangled the history, once every other tenant's work has
+        drained the next admission is ``now`` bit for bit (the
+        single-tenant degeneration the differential test relies on)."""
+        n = len(weights)
+        arb = make_arbiter("wfq", weights=weights)
+        horizon = 0.0
+        for tenant, now in events:
+            tenant %= n
+            start = arb.admit(0, tenant, now)
+            assert start >= now
+            done = start + READ_NS
+            arb.note_completion(0, tenant, done)
+            horizon = max(horizon, done, now)
+        quiet = horizon + 1.0  # all busy_until are in the past
+        assert arb.admit(0, 0, quiet) == quiet
+
+    @given(
+        weights=st.lists(st.floats(min_value=0.25, max_value=8.0),
+                         min_size=2, max_size=6),
+        events=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=5),
+                      st.floats(min_value=0.0, max_value=1e6)),
+            min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_admission_never_travels_back_in_time(self, weights, events):
+        n = len(weights)
+        arb = make_arbiter("wfq", weights=weights)
+        for tenant, now in events:
+            tenant %= n
+            start = arb.admit(0, tenant, now)
+            assert start >= now
+            arb.note_completion(0, tenant, start + READ_NS)
+
+    def test_pacing_state_reset_when_contention_vanishes(self):
+        arb = make_arbiter("wfq", weights=(1.0, 1.0))
+        # Saturate both tenants so pacing state builds up.
+        arb.note_completion(0, 0, 50_000.0)
+        arb.note_completion(0, 1, 50_000.0)
+        paced = arb.admit(0, 0, 10_000.0)
+        assert paced >= 10_000.0
+        # Tenant 1 drains; tenant 0's stale next_ok must not delay it.
+        quiet = 60_000.0
+        assert arb.admit(0, 0, quiet) == quiet
+        assert arb.admit(0, 0, quiet) == quiet
+
+
+# -- weighted shares ---------------------------------------------------------
+
+
+def saturated_admission_counts(weights, horizon):
+    """Admissions per tenant when every tenant always has work queued."""
+    arb = make_arbiter("wfq", weights=weights, dies=4)
+    # Mark every tenant permanently busy: the contention path is taken on
+    # every admit, which is the GPS regime the pacing rate models.
+    for t in range(len(weights)):
+        arb.note_completion(0, t, horizon * 10)
+    counts = []
+    for t in range(len(weights)):
+        n = 0
+        while arb.admit(0, t, 0.0) < horizon:
+            n += 1
+        counts.append(n)
+    return counts
+
+
+@given(
+    weights=st.lists(st.floats(min_value=0.5, max_value=4.0),
+                     min_size=2, max_size=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_saturated_shares_track_weights(weights):
+    """Under saturation each tenant's admission rate is its GPS share:
+    ``count_t / count_u`` within 10% of ``w_t / w_u`` (quantisation
+    slack) over a long horizon."""
+    horizon = READ_NS * 2000.0
+    counts = saturated_admission_counts(weights, horizon)
+    assert all(c > 50 for c in counts)  # long enough to amortise rounding
+    for t in range(len(weights)):
+        for u in range(len(weights)):
+            got = counts[t] / counts[u]
+            want = weights[t] / weights[u]
+            assert got == pytest.approx(want, rel=0.10)
+
+
+def test_equal_weights_equal_shares():
+    counts = saturated_admission_counts([1.0, 1.0, 1.0], READ_NS * 900.0)
+    assert len(set(counts)) == 1
+
+
+def test_double_weight_double_share():
+    counts = saturated_admission_counts([2.0, 1.0], READ_NS * 1200.0)
+    assert counts[0] == pytest.approx(2 * counts[1], rel=0.05)
+
+
+# -- strict priority ---------------------------------------------------------
+
+
+class TestPriorityArbiter:
+    def test_low_waits_out_high(self):
+        arb = make_arbiter("priority", priorities=(0, 1))
+        arb.note_completion(0, 1, 9000.0)  # high-priority busy until 9 µs
+        assert arb.admit(0, 0, 4000.0) == 9000.0
+
+    def test_high_never_waits_for_low(self):
+        arb = make_arbiter("priority", priorities=(0, 1))
+        arb.note_completion(0, 0, 9000.0)
+        assert arb.admit(0, 1, 4000.0) == 4000.0
+
+    def test_equal_priority_no_gating(self):
+        arb = make_arbiter("priority", priorities=(1, 1))
+        arb.note_completion(0, 1, 9000.0)
+        assert arb.admit(0, 0, 4000.0) == 4000.0
+
+    @given(
+        prios=st.lists(st.integers(min_value=0, max_value=3),
+                       min_size=2, max_size=5),
+        events=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=4),
+                      st.floats(min_value=0.0, max_value=1e6)),
+            min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gate_is_a_higher_priority_horizon(self, prios, events):
+        """An admission is delayed only to some strictly-higher-priority
+        tenant's completion horizon, never beyond the max of them."""
+        n = len(prios)
+        arb = make_arbiter("priority", priorities=prios)
+        busy = [0.0] * n
+        for tenant, now in events:
+            tenant %= n
+            start = arb.admit(0, tenant, now)
+            higher = [busy[u] for u in range(n)
+                      if prios[u] > prios[tenant] and busy[u] > now]
+            assert start == max([now] + higher)
+            done = start + READ_NS
+            arb.note_completion(0, tenant, done)
+            busy[tenant] = max(busy[tenant], done)
+
+
+# -- attribution -------------------------------------------------------------
+
+
+class TestTenantMap:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=512),
+                       min_size=1, max_size=8),
+        probe=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_page_attribution_matches_linear_scan(self, sizes, probe):
+        base = 0
+        parts = []
+        for s in sizes:
+            parts.append((base, s))
+            base += s
+        tmap = TenantMap(QoSConfig(isolation="wfq",
+                                   partitions=tuple(parts)))
+        want = None
+        for i, (b, s) in enumerate(parts):
+            if b <= probe < b + s:
+                want = i
+        assert tmap.tenant_of_page(probe) == want
+
+    def test_thread_attribution(self):
+        tmap = make_map("wfq", weights=(1.0, 1.0),
+                        tenant_of_thread=(0, 0, 1))
+        assert tmap.tenant_of_thread(0) == 0
+        assert tmap.tenant_of_thread(2) == 1
+        assert tmap.tenant_of_thread(3) is None
+        assert tmap.tenant_of_thread(-1) is None
+
+    def test_build_tenant_map_none_when_off(self):
+        assert build_tenant_map(QoSConfig()) is None
+        assert build_tenant_map(QoSConfig(isolation="wfq")) is None
+        assert build_tenant_map(
+            QoSConfig(isolation="wfq", partitions=((0, 8), (8, 8)))
+        ) is not None
+
+    def test_activation_flags(self):
+        wfq = make_map("wfq", weights=(1.0, 2.0),
+                       tenant_of_thread=(0, 1))
+        assert wfq.flash_scheduling and wfq.host_scheduling
+        assert not wfq.log_partitioning and not wfq.cache_quota
+        logp = make_map("log-partition", tenants=2)
+        assert logp.log_partitioning
+        assert not (logp.flash_scheduling or logp.host_scheduling
+                    or logp.cache_quota)
+        quota = make_map("cache-quota", tenants=2)
+        assert quota.cache_quota
+        solo = make_map("wfq", tenants=1)
+        assert not solo.flash_scheduling  # one tenant: nothing to arbitrate
+
+
+# -- capacity partitioning ---------------------------------------------------
+
+
+class TestPartitionCapacities:
+    @given(
+        weights=st.lists(st.floats(min_value=0.5, max_value=4.0),
+                         min_size=1, max_size=8),
+        per_tenant=st.integers(min_value=100, max_value=5000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exact_and_proportional(self, weights, per_tenant):
+        total = per_tenant * len(weights)
+        out = partition_capacities(total, weights)
+        assert len(out) == len(weights)
+        assert sum(out) == total
+        wsum = sum(weights)
+        for share, w in zip(out, weights):
+            assert share == pytest.approx(total * w / wsum,
+                                          abs=len(weights) + 1)
+
+    def test_minimum_floor(self):
+        out = partition_capacities(4, [1.0, 1000.0], minimum=2)
+        assert out[0] >= 2
+
+    def test_empty(self):
+        assert partition_capacities(100, []) == []
+
+
+# -- host scheduler ----------------------------------------------------------
+
+
+def _thread(tid, runtime_ns):
+    # A one-record trace keeps the thread runnable (enqueue drops done
+    # threads).
+    t = ThreadContext(tid, [(10, False, 0)])
+    t.runtime_ns = runtime_ns
+    return t
+
+
+class TestWeightedScheduler:
+    def test_unit_weights_match_plain_cfs_key(self):
+        tmap = make_map("wfq", weights=(1.0, 1.0),
+                        tenant_of_thread=(0, 1))
+        assert weighted_pick_key(500.0, 1, tmap) == (500.0, 1)
+
+    def test_heavier_tenant_runs_longer_before_yielding_turn(self):
+        tmap = make_map("wfq", weights=(2.0, 1.0),
+                        tenant_of_thread=(0, 1))
+        # Equal raw runtime: the weight-2 tenant has the lower virtual
+        # runtime and is picked first.
+        assert (weighted_pick_key(1000.0, 0, tmap)
+                < weighted_pick_key(1000.0, 1, tmap))
+
+    def test_priority_key_dominates_runtime(self):
+        tmap = make_map("priority", priorities=(0, 1),
+                        tenant_of_thread=(0, 1))
+        assert (weighted_pick_key(1e9, 1, tmap)
+                < weighted_pick_key(0.0, 0, tmap))
+
+    def test_unmapped_thread_falls_back_to_cfs(self):
+        tmap = make_map("wfq", weights=(4.0,), tenant_of_thread=(0,))
+        assert weighted_pick_key(123.0, 7, tmap) == (123.0, 7)
+
+    def test_scheduler_pick_order_under_wfq(self):
+        tmap = make_map("wfq", weights=(2.0, 1.0),
+                        tenant_of_thread=(0, 1))
+        sched = Scheduler("FAIRNESS")
+        sched.set_tenant_qos(tmap)
+        a, b = _thread(0, 1500.0), _thread(1, 1000.0)
+        sched.enqueue(a)
+        sched.enqueue(b)
+        # 1500/2 = 750 < 1000/1: the weighted tenant wins despite more
+        # raw runtime -- plain CFS would have picked tid 1.
+        assert sched.pick_next() is a
+        assert sched.pick_next() is b
+
+    def test_scheduler_without_qos_unchanged(self):
+        sched = Scheduler("FAIRNESS")
+        a, b = _thread(0, 1500.0), _thread(1, 1000.0)
+        sched.enqueue(a)
+        sched.enqueue(b)
+        assert sched.pick_next() is b

@@ -74,6 +74,68 @@ class TestLatencyHistogram:
             h.record(v)
         assert min(values) * 0.99 <= h.mean <= max(values) * 1.01
 
+    # -- percentile edges (the QoS figure's p99 source) ---------------------
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+        assert LatencyHistogram().count_above(1.0) == 0
+
+    def test_single_sample_every_percentile_is_its_bucket_edge(self):
+        h = LatencyHistogram()
+        h.record(5000.0)
+        edges = {h.percentile(p) for p in (1, 50, 99, 100)}
+        assert len(edges) == 1
+        (edge,) = edges
+        assert 5000.0 <= edge <= 5000.0 * 10 ** (1 / h.BUCKETS_PER_DECADE)
+
+    def test_bucket_boundary_exactness(self):
+        """A sample exactly on a decade boundary lands in bucket
+        ``log10(v) * 10`` and reports that bucket's upper edge."""
+        h = LatencyHistogram()
+        h.record(100.0)  # bucket int(2.0 * 10) = 20
+        assert h.percentile(50) == pytest.approx(10 ** 2.1)
+        assert h.percentile(99) == pytest.approx(10 ** 2.1)
+
+    def test_p50_p99_ordering_with_heavy_tail(self):
+        h = LatencyHistogram()
+        for _ in range(98):
+            h.record(100.0)
+        h.record(50_000.0)
+        h.record(60_000.0)
+        assert h.percentile(50) < h.percentile(99)
+        assert h.percentile(99) >= 50_000.0
+
+    def test_count_above_is_slo_violation_counter(self):
+        h = LatencyHistogram()
+        for _ in range(9):
+            h.record(100.0)
+        h.record(1_000_000.0)
+        assert h.count_above(20_000.0) == 1
+        assert h.count_above(1e9) == 0
+        # Threshold below every bucket edge counts everything.
+        assert h.count_above(0.5) == 10
+
+    @given(
+        a=st.lists(st.floats(min_value=1.0, max_value=1e8), max_size=80),
+        b=st.lists(st.floats(min_value=1.0, max_value=1e8), max_size=80),
+    )
+    def test_merge_is_bucket_exact(self, a, b):
+        """merge(other) then querying == recording every sample here."""
+        left, right, both = (LatencyHistogram() for _ in range(3))
+        for v in a:
+            left.record(v)
+            both.record(v)
+        for v in b:
+            right.record(v)
+            both.record(v)
+        left.merge(right)
+        assert left.count == both.count
+        assert left.cdf() == both.cdf()
+        assert left.mean == pytest.approx(both.mean)
+        assert left.max == both.max
+        for p in (50, 99):
+            assert left.percentile(p) == both.percentile(p)
+
 
 class TestLocalityTracker:
     def test_cdf_counts_pages(self):
@@ -174,3 +236,74 @@ class TestSimStats:
         for key in ("execution_ns", "amat_ns", "write_amplification",
                     "memory_bound_frac", "flash_page_writes"):
             assert key in summary
+
+
+class TestSimStatsMerge:
+    def test_scalars_sum_and_window_unions(self):
+        a, b = SimStats(), SimStats()
+        a.add_instructions(100)
+        b.add_instructions(50)
+        a.count_request(SSD_READ_HIT)
+        b.count_request(SSD_READ_HIT)
+        b.count_request(HOST_DRAM)
+        a.record_amat(flash=3000.0)
+        b.record_amat(host_dram=70.0)
+        a.start_ns, a.end_ns = 100.0, 900.0
+        b.start_ns, b.end_ns = 50.0, 500.0
+        a.merge(b)
+        assert a.instructions == 150
+        assert a.request_counts[SSD_READ_HIT] == 2
+        assert a.request_counts[HOST_DRAM] == 1
+        assert a.amat_accesses == 2
+        assert a.amat_flash_ns == pytest.approx(3000.0)
+        assert a.amat_host_dram_ns == pytest.approx(70.0)
+        assert (a.start_ns, a.end_ns) == (50.0, 900.0)
+
+    def test_histograms_and_locality_merge(self):
+        a, b = SimStats(), SimStats()
+        a.record_offchip(100.0)
+        b.record_offchip(50_000.0)
+        a.read_locality.record(4)
+        b.read_locality.record(60)
+        a.merge(b)
+        assert a.offchip_latency.count == 2
+        assert a.offchip_latency.count_above(20_000.0) == 1
+        assert a.read_locality.count == 2
+
+
+class TestTenantConservation:
+    """Summing the per-tenant SimStats of a colocated run reproduces the
+    aggregate host-side view exactly -- per-tenant attribution neither
+    drops nor double-counts (docs/QOS.md).
+
+    Holds without context-switch squashes: Base-CSSD with at most as
+    many threads as cores never reverses an access.
+    """
+
+    TAB1 = ("bfs-dense", "bc", "radix", "srad", "ycsb", "tpcc", "dlrm")
+
+    @pytest.mark.parametrize("workload", TAB1)
+    def test_tab1_mix_conserves(self, workload):
+        from repro.experiments.colocation import run_colocation
+        from repro.scenarios.colocate import Tenant
+
+        tenants = [
+            Tenant(name="t0", scenario=workload, threads=2, seed=11),
+            Tenant(name="t1", scenario="log-ingest", threads=2, seed=12),
+        ]
+        system = run_colocation(tenants, variant="Base-CSSD",
+                                records_per_thread=60)
+        merged = SimStats()
+        for stats in system.tenant_stats:
+            merged.merge(stats)
+        aggregate = system.stats
+        assert merged.request_counts == aggregate.request_counts
+        assert merged.amat_accesses == aggregate.amat_accesses
+        for key in ("amat_host_dram_ns", "amat_protocol_ns",
+                    "amat_indexing_ns", "amat_ssd_dram_ns", "amat_flash_ns"):
+            assert getattr(merged, key) == pytest.approx(
+                getattr(aggregate, key))
+        assert merged.offchip_latency.count == aggregate.offchip_latency.count
+        assert merged.offchip_latency.cdf() == aggregate.offchip_latency.cdf()
+        assert merged.offchip_latency.mean == pytest.approx(
+            aggregate.offchip_latency.mean)
