@@ -82,6 +82,11 @@ QUICK_SPECS: Tuple[DriverSpec, ...] = (
     DriverSpec("fig6", records=1000, cells=_LOCALITY_CELLS),
     DriverSpec("promotion-threshold", records=250, repeats=5),
     DriverSpec("prefetch-ablation", records=250, repeats=5),
+    # Deep-path coverage: one flat and one deep cell on two workload
+    # shapes, so BENCH_speed tracks the queueing scheduler's cells/sec.
+    DriverSpec("flash-sensitivity", records=250, repeats=3,
+               kwargs={"workloads": ("tab1-bc", "tab1-ycsb"),
+                       "models": ("flat", "deep")}),
 )
 
 FULL_SPECS: Tuple[DriverSpec, ...] = QUICK_SPECS + (

@@ -85,7 +85,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import bench as bench_mod
 from repro.experiments import ablation, colocation, cost, design, migration_study
-from repro.experiments import motivation, overall, qos, sensitivity
+from repro.experiments import flash_sensitivity, motivation, overall, qos
+from repro.experiments import sensitivity
 from repro.experiments.backends import (
     CellPolicy,
     DistributedBackend,
@@ -143,6 +144,7 @@ FIGURES: Dict[str, Callable] = {
     "table3": overall.table3_flash_read_latency,
     "colocation": colocation.colocation_study,
     "qos": qos.qos_slo_study,
+    "flash-sensitivity": flash_sensitivity.flash_sensitivity_study,
     "cost": cost.cost_effectiveness,
     "prefetch-ablation": ablation.prefetch_ablation,
     "promotion-threshold": ablation.promotion_threshold_sweep,
@@ -249,6 +251,14 @@ def _progress_printer(verbose: bool) -> Optional[Callable[[SweepJob, str], None]
     return report
 
 
+def _add_device_model_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--device-model", dest="device_model", default=None,
+                        choices=["flat", "deep"],
+                        help="flash device model: flat horizon estimates or "
+                             "the deep geometry/scheduler/GC model (default "
+                             "flat; see docs/DEVICE_MODEL.md)")
+
+
 def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--records", type=int, default=None,
                         help="trace records per thread (default REPRO_RECORDS)")
@@ -314,6 +324,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             scale=args.scale,
             timing=args.timing,
             seed=args.seed,
+            device_model=args.device_model,
         )
     except KeyError as exc:
         return _bad_name(exc)
@@ -360,6 +371,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         timing=args.timing,
         seed=args.seed,
+        device_model=args.device_model,
     )
     backend_label = backend.describe() if backend is not None else "default"
     print(f"sweep: {len(workloads)} workload(s) x {len(variants)} variant(s) "
@@ -636,11 +648,13 @@ def _trace_gen_meta(names: Sequence[str], args: argparse.Namespace,
     if qos_mode and len(names) == 1:
         raise ValueError("--qos needs a multi-tenant (colocation) trace; "
                          "pass several scenario names")
+    device_model = getattr(args, "device_model", None)
     if len(names) == 1:
         scenario = get_scenario(names[0])
         threads = threads_per_tenant
         traces = scenario.generate(threads, records, scale=scale, seed=seed)
-        config = build_config(scale=scale, seed=seed, threads=threads)
+        config = build_config(scale=scale, seed=seed, threads=threads,
+                              device_model=device_model)
         meta = {
             "kind": "scenario",
             "workload": scenario.name,
@@ -655,7 +669,8 @@ def _trace_gen_meta(names: Sequence[str], args: argparse.Namespace,
         return traces, meta
     tenants = tenants_from_names(names, threads=threads_per_tenant, seed=seed)
     plan = build_colocation(tenants, scale=scale, records_per_thread=records)
-    config = build_config(scale=scale, seed=seed, threads=len(plan.traces))
+    config = build_config(scale=scale, seed=seed, threads=len(plan.traces),
+                          device_model=device_model)
     if qos_mode:
         # Bake the QoS knobs into the embedded config: replay then
         # reconstructs the exact same isolation behaviour on any backend
@@ -708,6 +723,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 "threads": args.threads,
                 "scale": args.scale,
                 "seed": args.seed,
+                "device_model": getattr(args, "device_model", None),
             }
             result = capture_workload(
                 args.workload, args.variant, args.output,
@@ -883,6 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["ULL", "ULL2", "SLC", "MLC"])
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--json", default=None, help="write RunResult JSON here")
+    _add_device_model_option(p_run)
     _add_common_run_options(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -908,6 +925,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--stream", action="store_true",
                          help="emit one JSON line per completed cell "
                               "(NDJSON), in completion order")
+    _add_device_model_option(p_sweep)
     _add_common_run_options(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -1016,6 +1034,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="embed a tenant-QoS config in the colocation "
                             "trace (wfq, priority, log-partition, "
                             "cache-quota; see docs/QOS.md)")
+    _add_device_model_option(p_gen)
     p_gen.set_defaults(func=cmd_trace)
 
     p_inspect = trace_sub.add_parser(
@@ -1037,6 +1056,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_capture.add_argument("--threads", type=int, default=None)
     p_capture.add_argument("--scale", type=int, default=None)
     p_capture.add_argument("--seed", type=int, default=None)
+    _add_device_model_option(p_capture)
     p_capture.set_defaults(func=cmd_trace)
 
     p_replay = trace_sub.add_parser(

@@ -300,6 +300,54 @@ class QoSConfig:
 
 
 @dataclass(frozen=True)
+class DeviceModelConfig:
+    """Flash device-model selection and deep-model knobs.
+
+    ``kind="flat"`` (the default) keeps the horizon-estimate flash model
+    every golden digest was pinned against.  ``kind="deep"`` switches the
+    controllers to the explicit-geometry queueing model of
+    :mod:`repro.ssd.geometry` / :class:`repro.ssd.flash.DeepFlashArray`:
+    commands route to the die and plane a page physically lives on,
+    read-priority program suspension is bounded, and GC campaigns pace
+    their page moves through the command queues instead of batching at
+    one instant (see ``docs/DEVICE_MODEL.md``).
+
+    The default is serialisation-invisible: :meth:`SimConfig.to_dict`
+    omits the ``device_model`` key entirely, so every pre-deep-model
+    cache key and golden digest is byte-identical.
+    """
+
+    #: Flash model: "flat" (horizon estimates) or "deep" (queueing).
+    kind: str = "flat"
+    #: Reads suspend an in-flight program on their plane (deep model).
+    read_priority: bool = True
+    #: Consecutive reads that may suspend one program before it becomes
+    #: non-preemptible (starvation bound); 0 = unbounded, which matches
+    #: the flat model's suspend semantics exactly.
+    max_read_bypass: int = 0
+    #: Planes of one die execute array operations independently
+    #: (multi-plane parallelism); False serialises a die's planes.
+    plane_parallelism: bool = True
+    #: Garbage collection runs as deferred background campaigns paced
+    #: through the command queues; False keeps the synchronous
+    #: channel-blocking campaigns of the flat model.
+    background_gc: bool = True
+    #: Pause between chained background-GC campaigns on one channel.
+    gc_idle_ns: float = 50_000.0
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "DeviceModelConfig":
+        return DeviceModelConfig(
+            kind=str(data.get("kind", "flat")),
+            read_priority=bool(data.get("read_priority", True)),
+            max_read_bypass=int(data.get("max_read_bypass", 0)),
+            plane_parallelism=bool(data.get("plane_parallelism", True)),
+            background_gc=bool(data.get("background_gc", True)),
+            gc_idle_ns=float(data.get("gc_idle_ns", 50_000.0)),
+        )
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Top-level simulation configuration."""
 
@@ -323,6 +371,8 @@ class SimConfig:
     seed: int = 42
     #: Multi-tenant isolation knobs; the default is serialisation-invisible.
     qos: QoSConfig = field(default_factory=QoSConfig)
+    #: Flash device-model selection; the default is serialisation-invisible.
+    device_model: DeviceModelConfig = field(default_factory=DeviceModelConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
         """Return a copy with top-level fields replaced."""
@@ -332,11 +382,14 @@ class SimConfig:
         """Plain-dict form (JSON-safe) for caching and IPC.
 
         A default :class:`QoSConfig` is omitted so every pre-QoS digest
-        (golden suites, result-cache keys) is byte-identical.
+        (golden suites, result-cache keys) is byte-identical, and a
+        default :class:`DeviceModelConfig` likewise.
         """
         data = dataclasses.asdict(self)
         if self.qos == QoSConfig():
             del data["qos"]
+        if self.device_model == DeviceModelConfig():
+            del data["device_model"]
         return data
 
     @staticmethod
@@ -357,6 +410,8 @@ class SimConfig:
             seed=int(data["seed"]),
             qos=QoSConfig.from_dict(data["qos"]) if data.get("qos")
             else QoSConfig(),
+            device_model=DeviceModelConfig.from_dict(data["device_model"])
+            if data.get("device_model") else DeviceModelConfig(),
         )
 
     def with_ssd(self, **kwargs) -> "SimConfig":
@@ -373,6 +428,11 @@ class SimConfig:
 
     def with_qos(self, **kwargs) -> "SimConfig":
         return self.replace(qos=dataclasses.replace(self.qos, **kwargs))
+
+    def with_device(self, **kwargs) -> "SimConfig":
+        return self.replace(
+            device_model=dataclasses.replace(self.device_model, **kwargs)
+        )
 
 
 # ---------------------------------------------------------------------------

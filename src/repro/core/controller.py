@@ -23,9 +23,7 @@ from repro.qos import FlashPacingArbiter, build_tenant_map
 from repro.sim import fastpath
 from repro.sim.engine import Engine
 from repro.sim.stats import SimStats, SSD_READ_HIT, SSD_READ_MISS, SSD_WRITE
-from repro.ssd.flash import FlashArray
-from repro.ssd.ftl import PageFTL
-from repro.ssd.gc import GarbageCollector
+from repro.ssd.factory import arbiter_slots, build_flash_subsystem
 from repro.ssd.interface import AccessResult
 
 
@@ -43,9 +41,7 @@ class SkyByteController:
         self._ssd = config.ssd
         self._engine = engine
         self._stats = stats
-        self.ftl = PageFTL(self._ssd.geometry, seed=config.seed)
-        self.flash = FlashArray(self._ssd.geometry, self._ssd.timing, engine, stats)
-        self.gc = GarbageCollector(self._ssd, self.ftl, self.flash, engine, stats)
+        self.ftl, self.flash, self.gc = build_flash_subsystem(config, engine, stats)
         # Tenant QoS (docs/QOS.md): attribution map from the config, the
         # admission arbiter on the flash array for "wfq"/"priority".
         self.tenant_map = build_tenant_map(config.qos)
@@ -53,11 +49,10 @@ class SkyByteController:
             self.tenant_map is not None and self.tenant_map.flash_scheduling
         )
         if self._flash_qos:
-            geo = self._ssd.geometry
             self.flash.arbiter = FlashPacingArbiter(
                 self.tenant_map,
-                geo.channels,
-                geo.chips_per_channel * geo.dies_per_chip,
+                self._ssd.geometry.channels,
+                arbiter_slots(config),
                 self._ssd.timing.read_ns,
             )
         self.dram = SkyByteDRAMManager(

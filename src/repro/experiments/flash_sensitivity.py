@@ -1,0 +1,112 @@
+"""Flash device-model sensitivity: flat vs deep scheduler/GC policies.
+
+The deep device model (``docs/DEVICE_MODEL.md``) routes every command to
+the die and plane its page physically lives on, so hot blocks contend
+for their own unit while the flat model's earliest-free-die dispatch
+hides that entirely.  This driver quantifies what the extra fidelity
+costs and buys: one cell per (workload, device-model policy), reporting
+mean flash read latency, execution-time slowdown against the flat
+model, write amplification, and the deep model's GC/queue-depth stats.
+
+All cells fan out through the orchestrator, so they cache, replay and
+sweep on every backend like any other experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.orchestrator import SweepJob, run_sweep
+from repro.experiments.runner import default_records
+
+#: Device-model policies compared, in plotting order: the flat baseline,
+#: the full deep model, deep without read priority (reads queue FIFO
+#: behind programs), and deep with a bounded read-bypass budget.
+MODEL_SPECS: Dict[str, Optional[Dict[str, object]]] = {
+    "flat": None,
+    "deep": {"kind": "deep"},
+    "deep-no-rp": {"kind": "deep", "read_priority": False},
+    "deep-bounded": {"kind": "deep", "max_read_bypass": 4},
+}
+
+#: Default workload slice: the read-heavy pointer chaser, the scan-heavy
+#: analytics mix, and the write-heavy stream -- the three Table I shapes
+#: the scheduler policies separate most.
+DEFAULT_WORKLOADS = ("tab1-bc", "tab1-dlrm", "tab1-ycsb")
+
+def flash_sensitivity_study(
+    workloads: Optional[Sequence[str]] = None,
+    models: Optional[Sequence[str]] = None,
+    variant: str = "SkyByte-Full",
+    records: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: object = None,
+    backend: object = None,
+    progress: object = None,
+    policy: object = None,
+) -> Dict[str, object]:
+    """One cell per (workload, device-model policy).
+
+    Returns ``{"variant", "records_per_thread", "models", "workloads",
+    "rows"}`` where ``rows[workload][model]`` holds execution time, mean
+    flash read latency, slowdown vs the flat cell, write amplification,
+    and (deep cells) GC and queue-depth counters.
+    """
+    workloads = list(workloads or DEFAULT_WORKLOADS)
+    models = list(models or MODEL_SPECS)
+    unknown = [m for m in models if m not in MODEL_SPECS]
+    if unknown:
+        raise KeyError(
+            f"unknown device model(s) {unknown}; available: {sorted(MODEL_SPECS)}"
+        )
+    records = records or default_records()
+    specs = [
+        SweepJob.make(
+            wl,
+            variant,
+            records_per_thread=records,
+            device_model=MODEL_SPECS[model],
+        )
+        for wl in workloads
+        for model in models
+    ]
+    sweep = iter(run_sweep(specs, jobs=jobs, cache=cache, backend=backend,
+                           progress=progress, policy=policy))
+    cells = {wl: {model: next(sweep) for model in models} for wl in workloads}
+    rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for wl in workloads:
+        flat_ns = None
+        if "flat" in models:
+            flat_ns = max(cells[wl]["flat"].stats.execution_ns, 1e-12)
+        row: Dict[str, Dict[str, float]] = {}
+        for model in models:
+            stats = cells[wl][model].stats
+            entry = {
+                "execution_ns": stats.execution_ns,
+                "mean_flash_read_ns": stats.flash_read_latency.mean,
+                "p99_flash_read_ns": stats.flash_read_latency.percentile(99.0),
+                "write_amplification": stats.write_amplification,
+                "flash_block_erases": float(stats.flash_block_erases),
+                "gc_invocations": float(stats.gc_invocations),
+                "slowdown_vs_flat": (
+                    stats.execution_ns / flat_ns if flat_ns else 1.0
+                ),
+            }
+            if stats.device is not None:
+                entry["gc_reads"] = float(stats.device.gc_reads)
+                entry["gc_programs"] = float(stats.device.gc_programs)
+                entry["gc_erases"] = float(stats.device.gc_erases)
+                entry["background_gc_campaigns"] = float(
+                    stats.device.background_campaigns
+                )
+                entry["mean_queue_depth"] = stats.device.mean_queue_depth
+                entry["max_queue_depth"] = float(stats.device.max_queue_depth)
+            row[model] = entry
+        rows[wl] = row
+    return {
+        "variant": variant,
+        "records_per_thread": records,
+        "models": models,
+        "workloads": workloads,
+        "rows": rows,
+    }

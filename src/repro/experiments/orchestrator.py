@@ -135,6 +135,9 @@ class SweepJob:
         overrides = clean.get("ssd_overrides")
         if isinstance(overrides, dict):
             clean["ssd_overrides"] = tuple(sorted(overrides.items()))
+        device = clean.get("device_model")
+        if isinstance(device, dict):
+            clean["device_model"] = tuple(sorted(device.items()))
         return cls(
             workload=cls._canonical_name(workload, "trace" in clean),
             variant=canonical_variant(variant),
@@ -161,6 +164,9 @@ class SweepJob:
         overrides = kw.get("ssd_overrides")
         if isinstance(overrides, tuple):
             kw["ssd_overrides"] = dict(overrides)
+        device = kw.get("device_model")
+        if isinstance(device, tuple):
+            kw["device_model"] = dict(device)
         return kw
 
     def key(self) -> str:

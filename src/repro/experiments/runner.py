@@ -18,7 +18,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.config import SimConfig, scaled_config
+from repro.config import DeviceModelConfig, SimConfig, scaled_config
 from repro.scenarios.library import find_scenario
 from repro.scenarios.tracefile import read_meta, read_tracefile, write_tracefile
 from repro.sim import fastpath
@@ -85,6 +85,16 @@ class RunResult:
         )
 
 
+def resolve_device_model(spec: object) -> DeviceModelConfig:
+    """Normalise a device-model spec: a :class:`DeviceModelConfig`, a
+    kind string (``"deep"``), or a dict of config fields."""
+    if isinstance(spec, DeviceModelConfig):
+        return spec
+    if isinstance(spec, str):
+        return DeviceModelConfig(kind=spec)
+    return DeviceModelConfig.from_dict(dict(spec))
+
+
 def build_config(
     scale: int = DEFAULT_SCALE,
     timing: str = "ULL",
@@ -97,12 +107,16 @@ def build_config(
     host_budget_bytes: Optional[int] = None,
     warmup_fraction: float = 0.1,
     ssd_overrides: Optional[Dict[str, object]] = None,
+    device_model: Optional[object] = None,
 ) -> SimConfig:
     """Assemble a scaled config with the common experiment overrides.
 
     ``ssd_overrides`` passes arbitrary :class:`~repro.config.SSDConfig`
     fields (``prefetch_depth``, ``promotion_threshold``, ...) straight
-    through, applied after the named shortcuts above.
+    through, applied after the named shortcuts above.  ``device_model``
+    selects the flash model: a kind string (``"deep"``) or a dict of
+    :class:`~repro.config.DeviceModelConfig` fields; ``None`` keeps the
+    flat default (and the config's serialised form byte-identical).
     """
     config = scaled_config(scale=scale, threads=threads, timing=timing, seed=seed)
     config = config.replace(warmup_fraction=warmup_fraction)
@@ -127,6 +141,8 @@ def build_config(
         config = config.with_os(**os_overrides)
     if host_budget_bytes is not None:
         config = config.with_cpu(host_promote_budget_bytes=host_budget_bytes)
+    if device_model is not None:
+        config = config.replace(device_model=resolve_device_model(device_model))
     return config
 
 
@@ -202,6 +218,7 @@ def resolve_run(
     warmup_fraction: float = 0.1,
     max_ns: Optional[float] = None,
     ssd_overrides: Optional[Dict[str, object]] = None,
+    device_model: Optional[object] = None,
     trace: Optional[str] = None,
 ) -> Tuple[SimConfig, int]:
     """Resolve the exact ``(config, records_per_thread)`` a
@@ -242,6 +259,7 @@ def resolve_run(
         host_budget_bytes=host_budget_bytes,
         warmup_fraction=warmup_fraction,
         ssd_overrides=ssd_overrides,
+        device_model=device_model,
     )
     if threads is None:
         threads = design.default_threads(base.cpu.cores)
@@ -265,6 +283,7 @@ def run_workload(
     warmup_fraction: float = 0.1,
     max_ns: Optional[float] = None,
     ssd_overrides: Optional[Dict[str, object]] = None,
+    device_model: Optional[object] = None,
     trace: Optional[str] = None,
 ) -> RunResult:
     """Simulate one (workload, design) pair and return its stats.
@@ -291,6 +310,7 @@ def run_workload(
         host_budget_bytes=host_budget_bytes,
         warmup_fraction=warmup_fraction,
         ssd_overrides=ssd_overrides,
+        device_model=device_model,
         trace=trace,
     )
     if trace is not None:

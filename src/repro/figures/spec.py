@@ -403,6 +403,33 @@ def _shape_qos(data) -> List[Chart]:
     return charts
 
 
+def _shape_flash_sensitivity(data) -> List[Chart]:
+    """Mean flash read latency per device-model policy, plus the
+    execution-time slowdown each policy costs against the flat model
+    (see docs/DEVICE_MODEL.md)."""
+    rows = data["rows"]
+    models = list(data["models"])
+    latency = _bar(
+        "Device model: mean flash read latency",
+        {wl: {m: rows[wl][m]["mean_flash_read_ns"] / 1000.0 for m in models}
+         for wl in data["workloads"]},
+        "mean flash read latency (us)",
+        subtitle=f"variant {data.get('variant', '?')}; flat vs deep "
+                 "scheduler policies",
+        series_order=models,
+    )
+    slowdown = _bar(
+        "Device model: execution-time slowdown vs flat",
+        {wl: {m: rows[wl][m]["slowdown_vs_flat"] for m in models}
+         for wl in data["workloads"]},
+        "execution time / flat execution time",
+        subtitle="physical die/plane routing only adds constraints, so "
+                 ">= 1.0 is expected",
+        series_order=models,
+    )
+    return [latency, slowdown]
+
+
 def _shape_prefetch(data) -> List[Chart]:
     return [_single_bar(
         "Ablation: baseline sequential prefetch gain",
@@ -544,6 +571,14 @@ SPECS: Dict[str, ChartSpec] = {
                   "Per-tenant p99 and SLO-violation rate vs tenant "
                   "count under each isolation mechanism "
                   "(see docs/QOS.md).", _shape_qos),
+        ChartSpec("flash-sensitivity", "Flash device-model sensitivity",
+                  "repro DEVICE_MODEL", "bar", "bc, dlrm, ycsb",
+                  "SkyByte-Full under flat/deep/deep-no-rp/deep-bounded "
+                  "device models",
+                  "Mean flash read latency and execution-time slowdown "
+                  "when commands route to their physical die/plane "
+                  "instead of the earliest-free die "
+                  "(see docs/DEVICE_MODEL.md).", _shape_flash_sensitivity),
         ChartSpec("cost", "Cost-effectiveness", "SS VI-B", "bar",
                   _ALL_WORKLOADS, "DRAM-Only vs SkyByte-Full",
                   "Performance fraction and $-ratio arithmetic "

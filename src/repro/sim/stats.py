@@ -233,6 +233,89 @@ class LocalityTracker:
         return tracker
 
 
+class DeviceStats:
+    """Per-op accounting of the deep device model (``device_model="deep"``).
+
+    Attached as :attr:`SimStats.device` only when a deep-model flash
+    subsystem is built, so flat runs serialise (and hash) exactly as
+    before the deep model existed: :meth:`SimStats.to_dict` emits a
+    ``"device"`` key only when this object is present.
+    """
+
+    def __init__(self) -> None:
+        #: Flash page reads issued on behalf of GC valid-page migration.
+        self.gc_reads = 0
+        #: Flash page programs issued on behalf of GC migration.
+        self.gc_programs = 0
+        #: Block erases issued by GC campaigns.
+        self.gc_erases = 0
+        #: Deferred background-GC campaigns that actually ran.
+        self.background_campaigns = 0
+        #: Per-channel in-flight command-queue depth: peak, plus
+        #: sum/samples for the mean (sampled at every submit).
+        self.queue_depth_peak: List[int] = []
+        self.queue_depth_sum = 0
+        self.queue_depth_samples = 0
+
+    def note_queue_depth(self, channel: int, depth: int) -> None:
+        if channel >= len(self.queue_depth_peak):
+            self.queue_depth_peak.extend(
+                [0] * (channel + 1 - len(self.queue_depth_peak))
+            )
+        if depth > self.queue_depth_peak[channel]:
+            self.queue_depth_peak[channel] = depth
+        self.queue_depth_sum += depth
+        self.queue_depth_samples += 1
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.queue_depth_samples:
+            return 0.0
+        return self.queue_depth_sum / self.queue_depth_samples
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depth_peak, default=0)
+
+    def merge(self, other: "DeviceStats") -> None:
+        self.gc_reads += other.gc_reads
+        self.gc_programs += other.gc_programs
+        self.gc_erases += other.gc_erases
+        self.background_campaigns += other.background_campaigns
+        if len(other.queue_depth_peak) > len(self.queue_depth_peak):
+            self.queue_depth_peak.extend(
+                [0] * (len(other.queue_depth_peak) - len(self.queue_depth_peak))
+            )
+        for channel, peak in enumerate(other.queue_depth_peak):
+            if peak > self.queue_depth_peak[channel]:
+                self.queue_depth_peak[channel] = peak
+        self.queue_depth_sum += other.queue_depth_sum
+        self.queue_depth_samples += other.queue_depth_samples
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "gc_reads": self.gc_reads,
+            "gc_programs": self.gc_programs,
+            "gc_erases": self.gc_erases,
+            "background_campaigns": self.background_campaigns,
+            "queue_depth_peak": list(self.queue_depth_peak),
+            "queue_depth_sum": self.queue_depth_sum,
+            "queue_depth_samples": self.queue_depth_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DeviceStats":
+        device = cls()
+        device.gc_reads = int(data["gc_reads"])
+        device.gc_programs = int(data["gc_programs"])
+        device.gc_erases = int(data["gc_erases"])
+        device.background_campaigns = int(data["background_campaigns"])
+        device.queue_depth_peak = [int(p) for p in data["queue_depth_peak"]]
+        device.queue_depth_sum = int(data["queue_depth_sum"])
+        device.queue_depth_samples = int(data["queue_depth_samples"])
+        return device
+
+
 #: Plain-number attributes of :class:`SimStats`, serialized verbatim.
 SCALAR_STATS: Tuple[str, ...] = (
     "instructions",
@@ -332,6 +415,9 @@ class SimStats:
 
         # --- link utilisation (Fig. 15) ---
         self.cxl_bytes = 0
+
+        # --- deep device model (None on flat runs; see DeviceStats) ---
+        self.device: "DeviceStats | None" = None
 
     # -- mutators (no-ops during warmup) ------------------------------------
 
@@ -530,6 +616,10 @@ class SimStats:
         self.flash_read_latency.merge(other.flash_read_latency)
         self.read_locality.merge(other.read_locality)
         self.write_locality.merge(other.write_locality)
+        if other.device is not None:
+            if self.device is None:
+                self.device = DeviceStats()
+            self.device.merge(other.device)
 
     # -- serialization -------------------------------------------------------
 
@@ -540,7 +630,7 @@ class SimStats:
         relies on this so a cached or worker-process result is numerically
         identical to one computed in-process.
         """
-        return {
+        data = {
             "enabled": self.enabled,
             "scalars": {name: getattr(self, name) for name in SCALAR_STATS},
             "request_counts": dict(self.request_counts),
@@ -549,6 +639,11 @@ class SimStats:
             "read_locality": self.read_locality.to_dict(),
             "write_locality": self.write_locality.to_dict(),
         }
+        # Only deep-model runs carry device stats; flat runs keep the
+        # exact pre-deep-model serialisation (golden digests).
+        if self.device is not None:
+            data["device"] = self.device.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SimStats":
@@ -566,12 +661,18 @@ class SimStats:
         )
         stats.read_locality = LocalityTracker.from_dict(data["read_locality"])
         stats.write_locality = LocalityTracker.from_dict(data["write_locality"])
+        if data.get("device") is not None:
+            stats.device = DeviceStats.from_dict(data["device"])
         return stats
 
     def summary(self) -> Dict[str, float]:
-        """A flat dict of headline metrics, handy for tables."""
+        """A flat dict of headline metrics, handy for tables.
+
+        Deep-model runs gain ``gc_*`` / queue-depth keys; flat runs keep
+        the exact pre-deep-model key set (golden summaries).
+        """
         bd = self.boundedness()
-        return {
+        out = {
             "execution_ns": self.execution_ns,
             "instructions": float(self.instructions),
             "throughput_ipns": self.throughput_ipns,
@@ -586,3 +687,13 @@ class SimStats:
             "pages_promoted": float(self.pages_promoted),
             "mean_flash_read_ns": self.flash_read_latency.mean,
         }
+        if self.device is not None:
+            out["gc_reads"] = float(self.device.gc_reads)
+            out["gc_programs"] = float(self.device.gc_programs)
+            out["gc_erases"] = float(self.device.gc_erases)
+            out["background_gc_campaigns"] = float(
+                self.device.background_campaigns
+            )
+            out["mean_queue_depth"] = self.device.mean_queue_depth
+            out["max_queue_depth"] = float(self.device.max_queue_depth)
+        return out

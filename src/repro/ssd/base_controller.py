@@ -22,9 +22,7 @@ from repro.sim import fastpath
 from repro.sim.engine import Engine
 from repro.sim.stats import SimStats, SSD_READ_HIT, SSD_READ_MISS, SSD_WRITE
 from repro.ssd.base_cache import SetAssociativePageCache
-from repro.ssd.flash import FlashArray
-from repro.ssd.ftl import PageFTL
-from repro.ssd.gc import GarbageCollector
+from repro.ssd.factory import arbiter_slots, build_flash_subsystem
 from repro.ssd.interface import AccessResult
 
 
@@ -42,9 +40,7 @@ class BaseCSSDController:
         self._ssd = config.ssd
         self._engine = engine
         self._stats = stats
-        self.ftl = PageFTL(self._ssd.geometry, seed=config.seed)
-        self.flash = FlashArray(self._ssd.geometry, self._ssd.timing, engine, stats)
-        self.gc = GarbageCollector(self._ssd, self.ftl, self.flash, engine, stats)
+        self.ftl, self.flash, self.gc = build_flash_subsystem(config, engine, stats)
         # Tenant QoS: the baseline supports the flash admission arbiter
         # ("wfq"/"priority"), so a QoS trace replays with isolation active
         # under any device personality (docs/QOS.md).
@@ -53,11 +49,10 @@ class BaseCSSDController:
             self.tenant_map is not None and self.tenant_map.flash_scheduling
         )
         if self._flash_qos:
-            geo = self._ssd.geometry
             self.flash.arbiter = FlashPacingArbiter(
                 self.tenant_map,
-                geo.channels,
-                geo.chips_per_channel * geo.dies_per_chip,
+                self._ssd.geometry.channels,
+                arbiter_slots(config),
                 self._ssd.timing.read_ns,
             )
         # The whole SSD DRAM is one page cache in the baseline.

@@ -29,9 +29,10 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.config import FlashGeometry, FlashTiming
+from repro.config import DeviceModelConfig, FlashGeometry, FlashTiming
 from repro.sim.engine import Engine
 from repro.sim.stats import SimStats
+from repro.ssd.geometry import GeometryModel
 
 #: Channel bus time to move one 4 KB page (ONFI-class bus, ~5 GB/s).
 PAGE_TRANSFER_NS = 800.0
@@ -119,20 +120,44 @@ class FlashChannel:
 
     # -- command submission ------------------------------------------------------
 
+    def _plan_read(self, now: float) -> tuple:
+        """Plan (without mutating) the read :meth:`submit_read` would
+        issue at ``now``: ``(die, suspended, array_done)``.
+
+        :meth:`submit_read` and :meth:`preview_read_ns` both consume this
+        plan, so the previewed latency is consistent with the charged one
+        by construction.
+        """
+        die = self._earliest_die(self._die_read_free)
+        start = max(now, self._die_read_free[die])
+        suspended = self._die_free[die] > start
+        if suspended:
+            start += PROGRAM_SUSPEND_NS
+        return die, suspended, start + self._timing.read_ns
+
+    def preview_read_ns(self, now: float) -> float:
+        """Exact latency :meth:`submit_read` would charge for a read
+        submitted at ``now``, without mutating any channel state.
+
+        Unlike the heuristic :meth:`estimate_read_ns` (whose formula is
+        pinned by Algorithm 1 and the golden digests), this is the true
+        queueing answer -- schedulers that plan against it can never see
+        a stale horizon.
+        """
+        _, _, array_done = self._plan_read(now)
+        return array_done + self._transfer_ns - now
+
     def submit_read(self, now: float, on_done: Optional[Callable[[], None]] = None) -> float:
         """Page read: die op (tR) then page transfer over the bus.
 
         The read targets the die that is earliest-available *for reads*;
         a program in flight there is suspended.
         """
-        die = self._earliest_die(self._die_read_free)
-        start = max(now, self._die_read_free[die])
-        if self._die_free[die] > start:
+        die, suspended, array_done = self._plan_read(now)
+        if suspended:
             # A suspendable program occupies the die: pay the suspend
             # latency, and push the program's completion out by tR.
-            start += PROGRAM_SUSPEND_NS
             self._die_free[die] += self._timing.read_ns + PROGRAM_SUSPEND_NS
-        array_done = start + self._timing.read_ns
         self._die_read_free[die] = array_done
         self._die_free[die] = max(self._die_free[die], array_done)
         completion = array_done + self._transfer_ns
@@ -249,13 +274,12 @@ class FlashArray:
         if self._stats.enabled:
             self._stats.flash_page_reads += 1
         index = self.channel_of(ppa)
-        channel = self.channels[index]
         if self.arbiter is not None and tenant is not None:
             issue = self.arbiter.admit(index, tenant, now)
-            done = channel.submit_read(issue, on_done)
+            done = self._submit_read(index, ppa, issue, on_done)
             self.arbiter.note_completion(index, tenant, done)
         else:
-            done = channel.submit_read(now, on_done)
+            done = self._submit_read(index, ppa, now, on_done)
         self._stats.record_flash_read(done - now)
         return done
 
@@ -266,8 +290,7 @@ class FlashArray:
         self._check_ppa(ppa)
         if self._stats.enabled:
             self._stats.flash_page_writes += 1
-        channel = self.channels[self.channel_of(ppa)]
-        return channel.submit_program(now, on_done)
+        return self._submit_program(self.channel_of(ppa), ppa, now, on_done)
 
     def erase_block(
         self, block: int, now: float, on_done: Optional[Callable[[], None]] = None
@@ -277,8 +300,18 @@ class FlashArray:
             raise ValueError(f"block {block} out of range")
         if self._stats.enabled:
             self._stats.flash_block_erases += 1
-        channel = self.channels[self.channel_of_block(block)]
-        return channel.submit_erase(now, on_done)
+        return self._submit_erase(self.channel_of_block(block), block, now, on_done)
+
+    # -- routing hooks (overridden by :class:`DeepFlashArray`) -------------------
+
+    def _submit_read(self, index: int, ppa: int, now: float, on_done) -> float:
+        return self.channels[index].submit_read(now, on_done)
+
+    def _submit_program(self, index: int, ppa: int, now: float, on_done) -> float:
+        return self.channels[index].submit_program(now, on_done)
+
+    def _submit_erase(self, index: int, block: int, now: float, on_done) -> float:
+        return self.channels[index].submit_erase(now, on_done)
 
     def estimate_read_ns(self, ppa: int) -> float:
         """Algorithm 1's latency estimate for a new read of ``ppa``."""
@@ -293,3 +326,295 @@ class FlashArray:
     def _check_ppa(self, ppa: int) -> None:
         if not 0 <= ppa < self.geometry.total_pages:
             raise ValueError(f"ppa {ppa} out of range")
+
+
+# ---------------------------------------------------------------------------
+# Deep device model (config.device_model.kind == "deep")
+# ---------------------------------------------------------------------------
+
+
+class _PlaneUnit:
+    """Scheduling state of one independently-executing array unit
+    (a plane, or a whole die when plane parallelism is off)."""
+
+    __slots__ = ("free", "read_free", "suspends")
+
+    def __init__(self) -> None:
+        #: Horizon every program/erase (and non-priority read) waits for.
+        self.free = 0.0
+        #: Horizon excluding suspendable program time (read-priority path).
+        self.read_free = 0.0
+        #: Reads that have suspended the in-flight program so far
+        #: (bounded by ``max_read_bypass``; reset on each new program).
+        self.suspends = 0
+
+
+class DeepFlashChannel:
+    """One flash channel of the deep model: explicit (die, plane) units.
+
+    Where :class:`FlashChannel` dispatches each command to the earliest
+    *interchangeable* die, the deep channel routes it to the unit the
+    page physically lives on -- hot blocks queue on their own die while
+    the rest of the channel idles, which is the contention the flat model
+    cannot express.  Three policies (``docs/DEVICE_MODEL.md``):
+
+    * ``read_priority`` -- a read may suspend the unit's in-flight
+      program (cost :data:`PROGRAM_SUSPEND_NS`); off, reads queue FIFO
+      behind programs.
+    * ``max_read_bypass`` -- consecutive suspensions one program absorbs
+      before becoming non-preemptible (0 = unbounded, the flat model's
+      semantics); bounds read-priority starvation of programs.
+    * ``plane_parallelism`` -- planes of one die execute independently;
+      off, a die is a single serial unit.
+
+    An optional ``schedule_log`` records every array-op interval as
+    ``(kind, die, plane, start, end)`` so the invariant suite can assert
+    non-overlap properties without reaching into the horizon state.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        dies: int,
+        planes: int,
+        timing: FlashTiming,
+        engine: Engine,
+        transfer_ns: float = PAGE_TRANSFER_NS,
+        *,
+        read_priority: bool = True,
+        max_read_bypass: int = 0,
+        plane_parallelism: bool = True,
+        schedule_log: Optional[list] = None,
+    ) -> None:
+        self.index = index
+        self.dies = max(1, dies)
+        self.plane_parallelism = plane_parallelism
+        self.planes = max(1, planes) if plane_parallelism else 1
+        self.units = self.dies * self.planes
+        self._timing = timing
+        self._engine = engine
+        self._transfer_ns = transfer_ns
+        self._read_priority = read_priority
+        self._max_bypass = max(0, max_read_bypass)
+        self._units = [_PlaneUnit() for _ in range(self.units)]
+        self.schedule_log = schedule_log
+        self.queued_reads = 0
+        self.queued_programs = 0
+        self.queued_erases = 0
+
+    def _unit(self, die: int, plane: int) -> _PlaneUnit:
+        if self.plane_parallelism:
+            return self._units[die * self.planes + plane]
+        return self._units[die]
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time a new command could start on some unit."""
+        return min(u.free for u in self._units)
+
+    @property
+    def drained_at(self) -> float:
+        """Time at which every queued command will have completed."""
+        return max(u.free for u in self._units)
+
+    def busy_ns(self, now: float) -> float:
+        return max(0.0, self.free_at - now)
+
+    @property
+    def queue_depth(self) -> int:
+        """Commands currently in flight on this channel."""
+        return self.queued_reads + self.queued_programs + self.queued_erases
+
+    # -- latency estimators ---------------------------------------------------
+
+    def estimate_read_fifo_ns(self) -> float:
+        """Algorithm 1 lines 5-6 verbatim (FIFO queue-sum)."""
+        t = self._timing
+        return (
+            t.read_ns * (self.queued_reads + 1)
+            + t.program_ns * self.queued_programs
+            + t.erase_ns * self.queued_erases
+        )
+
+    def estimate_read_ns(self, now: Optional[float] = None) -> float:
+        """Unit-aware heuristic mirroring :meth:`FlashChannel.estimate_read_ns`
+        with queued work spread over the channel's independent units."""
+        t = self._timing
+        queued = t.read_ns * self.queued_reads + t.erase_ns * self.queued_erases
+        suspend = PROGRAM_SUSPEND_NS if self.queued_programs else 0.0
+        return queued / self.units + suspend + t.read_ns + self._transfer_ns
+
+    # -- command submission ------------------------------------------------------
+
+    def _plan_read(self, u: _PlaneUnit, now: float) -> tuple:
+        """``(start, suspended)`` for a read on ``u`` at ``now``, without
+        mutating -- shared by :meth:`submit_read` and
+        :meth:`preview_read_ns` so preview equals charge by construction.
+        """
+        start = max(now, u.read_free)
+        if u.free <= start:
+            return start, False
+        if self._read_priority and (
+            self._max_bypass == 0 or u.suspends < self._max_bypass
+        ):
+            return start + PROGRAM_SUSPEND_NS, True
+        # Bypass budget exhausted (or no read priority): queue behind the
+        # unit's full horizon like any other command.
+        return u.free, False
+
+    def preview_read_ns(self, die: int, plane: int, now: float) -> float:
+        """Exact latency :meth:`submit_read` would charge at ``now``."""
+        start, _ = self._plan_read(self._unit(die, plane), now)
+        return start + self._timing.read_ns + self._transfer_ns - now
+
+    def submit_read(
+        self, die: int, plane: int, now: float,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Page read on its physical unit: tR then bus transfer out."""
+        u = self._unit(die, plane)
+        start, suspended = self._plan_read(u, now)
+        if suspended:
+            u.free += self._timing.read_ns + PROGRAM_SUSPEND_NS
+            u.suspends += 1
+        elif u.free <= start:
+            # Unit idle at issue: any old program finished; the next one
+            # gets a fresh bypass budget.
+            u.suspends = 0
+        array_done = start + self._timing.read_ns
+        u.read_free = array_done
+        u.free = max(u.free, array_done)
+        if self.schedule_log is not None:
+            self.schedule_log.append(("read", die, plane, start, array_done))
+        completion = array_done + self._transfer_ns
+        self._track(completion, "read", on_done)
+        return completion
+
+    def submit_program(
+        self, die: int, plane: int, now: float,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Page program: bus transfer in, then tProg on its unit."""
+        u = self._unit(die, plane)
+        bus_done = now + self._transfer_ns
+        start = max(bus_done, u.free)
+        completion = start + self._timing.program_ns
+        u.free = completion
+        u.suspends = 0
+        if self.schedule_log is not None:
+            self.schedule_log.append(("program", die, plane, start, completion))
+        self._track(completion, "program", on_done)
+        return completion
+
+    def submit_erase(
+        self, die: int, plane: int, now: float,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Block erase: unit-exclusive, no transfer, not suspendable."""
+        u = self._unit(die, plane)
+        start = max(now, u.free)
+        completion = start + self._timing.erase_ns
+        u.free = completion
+        u.read_free = max(u.read_free, completion)
+        u.suspends = 0
+        if self.schedule_log is not None:
+            self.schedule_log.append(("erase", die, plane, start, completion))
+        self._track(completion, "erase", on_done)
+        return completion
+
+    def _track(self, completion: float, kind: str, on_done) -> None:
+        if kind == "read":
+            self.queued_reads += 1
+        elif kind == "program":
+            self.queued_programs += 1
+        else:
+            self.queued_erases += 1
+
+        def _complete() -> None:
+            if kind == "read":
+                self.queued_reads -= 1
+            elif kind == "program":
+                self.queued_programs -= 1
+            else:
+                self.queued_erases -= 1
+            if on_done is not None:
+                on_done()
+
+        self._engine.schedule_at(completion, _complete)
+
+
+class DeepFlashArray(FlashArray):
+    """Multi-channel array routing by explicit physical geometry.
+
+    Public API (``read_page`` / ``program_page`` / ``erase_block`` /
+    ``channel_of`` / estimators / ``arbiter``) is identical to
+    :class:`FlashArray`; only the routing hooks differ, so every
+    consumer -- controllers, compaction, DRAM manager, the QoS
+    admission arbiter -- works unmodified.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        engine: Engine,
+        stats: SimStats,
+        transfer_ns: float = PAGE_TRANSFER_NS,
+        device: Optional[DeviceModelConfig] = None,
+        schedule_log: Optional[list] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self._stats = stats
+        self.device = device if device is not None else DeviceModelConfig(kind="deep")
+        self.model = GeometryModel(geometry, timing)
+        self.channels: List[DeepFlashChannel] = [
+            DeepFlashChannel(
+                i,
+                self.model.dies_per_channel,
+                self.model.planes_per_die,
+                timing,
+                engine,
+                transfer_ns,
+                read_priority=self.device.read_priority,
+                max_read_bypass=self.device.max_read_bypass,
+                plane_parallelism=self.device.plane_parallelism,
+                schedule_log=schedule_log,
+            )
+            for i in range(geometry.channels)
+        ]
+        self.arbiter = None
+
+    @property
+    def units_per_channel(self) -> int:
+        """Independent array units behind one channel (arbiter slots)."""
+        return self.channels[0].units
+
+    def preview_read_ns(self, ppa: int, now: float) -> float:
+        """Exact latency a read of ``ppa`` submitted at ``now`` would be
+        charged (cf. the heuristic :meth:`estimate_read_ns`)."""
+        channel, die, plane, _, _ = self.model.decompose(ppa)
+        return self.channels[channel].preview_read_ns(die, plane, now)
+
+    def _sample_depth(self, index: int) -> None:
+        device = self._stats.device
+        if device is not None and self._stats.enabled:
+            device.note_queue_depth(index, self.channels[index].queue_depth)
+
+    def _submit_read(self, index: int, ppa: int, now: float, on_done) -> float:
+        _, die, plane, _, _ = self.model.decompose(ppa)
+        done = self.channels[index].submit_read(die, plane, now, on_done)
+        self._sample_depth(index)
+        return done
+
+    def _submit_program(self, index: int, ppa: int, now: float, on_done) -> float:
+        _, die, plane, _, _ = self.model.decompose(ppa)
+        done = self.channels[index].submit_program(die, plane, now, on_done)
+        self._sample_depth(index)
+        return done
+
+    def _submit_erase(self, index: int, block: int, now: float, on_done) -> float:
+        _, die, plane, _ = self.model.decompose_block(block)
+        done = self.channels[index].submit_erase(die, plane, now, on_done)
+        self._sample_depth(index)
+        return done

@@ -118,3 +118,110 @@ class GarbageCollector:
 
         self._engine.schedule_at(completion, _finish)
         return completion
+
+
+class BackgroundGarbageCollector(GarbageCollector):
+    """Deferred, paced GC for the deep device model.
+
+    Three differences from the synchronous collector (``docs/DEVICE_MODEL.md``):
+
+    * **Earlier watermark** -- campaigns trigger one campaign's worth of
+      blocks above the emergency reserve, buying slack to run off the
+      host critical path.
+    * **Deferred campaigns** -- :meth:`maybe_collect` marks the channel
+      active and schedules the campaign as an engine event instead of
+      running it inline in the host request path.
+    * **Paced migration** -- each valid page's program is submitted at
+      its read's completion and the erase after the last program, so GC
+      occupies the command queues for the campaign's real duration
+      instead of dumping every op at one instant.
+
+    Campaigns chain: while the channel stays below the watermark and the
+    last campaign freed something, the next one is scheduled
+    ``gc_idle_ns`` after completion.  Both conditions are required, so
+    the event chain always terminates and the engine cannot hang on a
+    self-rescheduling GC.  The allocation-time emergency path is
+    inherited unchanged: FTL metadata updates stay synchronous, so the
+    failed allocation's retry still succeeds immediately.
+    """
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        ftl: PageFTL,
+        flash: FlashArray,
+        engine: Engine,
+        stats: SimStats,
+        idle_ns: float = 50_000.0,
+    ) -> None:
+        super().__init__(config, ftl, flash, engine, stats)
+        self.idle_ns = max(0.0, idle_ns)
+        #: Background campaigns start this many blocks before the
+        #: synchronous collector's reserve floor.
+        self.watermark = self.reserve_blocks + self.blocks_per_campaign
+
+    def needs_collection(self, channel: int) -> bool:
+        return (
+            self._ftl.free_blocks_in_channel(channel) <= self.watermark
+            and not self._active[channel]
+        )
+
+    def maybe_collect(self, channel: int, now: float) -> Optional[float]:
+        """Defer a campaign to an engine event instead of running inline."""
+        if not self.needs_collection(channel):
+            return None
+        self._active[channel] = True
+        self._engine.schedule_at(now, lambda: self._campaign(channel))
+        return None
+
+    def _campaign(self, channel: int) -> None:
+        device = self._stats.device
+        if device is not None and self._stats.enabled:
+            device.background_campaigns += 1
+        self.collect(channel, self._engine.now)
+
+    def collect(self, channel: int, now: float) -> float:
+        """One paced campaign; returns the erase-complete time."""
+        self._active[channel] = True
+        if self._stats.enabled:
+            self._stats.gc_invocations += 1
+        device = self._stats.device
+        completion = now
+        freed = 0
+        while freed < self.blocks_per_campaign:
+            victim = self._ftl.select_victim(channel)
+            if victim is None:
+                break
+            erase_at = now
+            for lpa in list(victim.live.values()):
+                old_ppa = self._ftl.translate(lpa)
+                read_done = self._flash.read_page(old_ppa, now)
+                new_ppa = self._ftl.relocate(lpa, channel)
+                program_done = self._flash.program_page(new_ppa, read_done)
+                erase_at = max(erase_at, program_done)
+                if self._stats.enabled:
+                    self._stats.gc_page_moves += 1
+                    if device is not None:
+                        device.gc_reads += 1
+                        device.gc_programs += 1
+            completion = self._flash.erase_block(victim.index, erase_at)
+            if device is not None and self._stats.enabled:
+                device.gc_erases += 1
+            self._ftl.release_block(victim)
+            freed += 1
+        made_progress = freed > 0
+
+        def _finish() -> None:
+            self._active[channel] = False
+            if (
+                made_progress
+                and self._ftl.free_blocks_in_channel(channel) <= self.watermark
+            ):
+                self._active[channel] = True
+                self._engine.schedule_at(
+                    self._engine.now + self.idle_ns,
+                    lambda: self._campaign(channel),
+                )
+
+        self._engine.schedule_at(completion, _finish)
+        return completion

@@ -42,17 +42,23 @@ class DesignVariant:
     migration_mechanism: str = "skybyte"  # "skybyte" | "tpp" | "none"
     astriflash: bool = False
     dram_only: bool = False
+    #: Flash device-model kind to force ("deep"); "" keeps whatever the
+    #: config already selects (so the flat default stays untouched).
+    device_model: str = ""
 
     def apply(self, config: SimConfig) -> SimConfig:
         """Return ``config`` with this variant's knobs set."""
         mechanism = self.migration_mechanism if self.promotion else "none"
-        return config.replace(dram_only=self.dram_only).with_skybyte(
+        config = config.replace(dram_only=self.dram_only).with_skybyte(
             write_log_enable=self.write_log,
             promotion_enable=self.promotion,
             device_triggered_ctx_swt=self.ctx_switch,
             migration_mechanism=mechanism,
             astriflash=self.astriflash,
         )
+        if self.device_model:
+            config = config.with_device(kind=self.device_model)
+        return config
 
     def default_threads(self, cores: int) -> int:
         """The paper runs 24 threads on 8 cores when context switching is

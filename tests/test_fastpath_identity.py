@@ -21,18 +21,18 @@ TAB1 = sorted(n for n in scenario_names() if n.startswith("tab1-"))
 RECORDS = 300
 
 
-def _canonical(workload, variant):
+def _canonical(workload, variant, **kwargs):
     result = run_workload(workload, variant, records_per_thread=RECORDS,
-                          seed=42)
+                          seed=42, **kwargs)
     return json.dumps(result.to_dict(), sort_keys=True,
                       separators=(",", ":"))
 
 
-def _both_modes(workload, variant):
+def _both_modes(workload, variant, **kwargs):
     with fastpath.forced_mode("scalar"):
-        scalar = _canonical(workload, variant)
+        scalar = _canonical(workload, variant, **kwargs)
     with fastpath.forced_mode("vector"):
-        vector = _canonical(workload, variant)
+        vector = _canonical(workload, variant, **kwargs)
     return scalar, vector
 
 
@@ -59,3 +59,13 @@ def test_vectorized_identity_skybyte_full(scenario):
     MSHR retirement on top of the fused CXL path."""
     scalar, vector = _both_modes(scenario, "SkyByte-Full")
     assert scalar == vector, f"{scenario}: vectorized run diverged"
+
+
+@pytest.mark.parametrize("scenario", ["tab1-bc", "tab1-ycsb"])
+def test_vectorized_identity_deep_device_model(scenario):
+    """The deep device model (geometry routing, plane queues, background
+    GC) must stay bit-identical under vectorization too -- its flash
+    completions feed the same event stream both modes coalesce."""
+    scalar, vector = _both_modes(scenario, "SkyByte-Full",
+                                 device_model="deep")
+    assert scalar == vector, f"{scenario}: deep-model vectorized run diverged"
