@@ -85,8 +85,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import bench as bench_mod
 from repro.experiments import ablation, colocation, cost, design, migration_study
-from repro.experiments import flash_sensitivity, motivation, overall, qos
-from repro.experiments import sensitivity
+from repro.experiments import flash_sensitivity, motivation, occupancy, overall
+from repro.experiments import qos, sensitivity
 from repro.experiments.backends import (
     CellPolicy,
     DistributedBackend,
@@ -106,9 +106,12 @@ from repro.experiments.runner import (
     build_config,
     capture_workload,
     default_records,
+    run_workload,
 )
 from repro.experiments.worker import run_worker
 from repro.figures.report import ReportBuilder
+from repro.figures.trends import append_trend, load_trends
+from repro.obs import REGISTRY
 from repro.scenarios import (
     build_colocation,
     canonical_scenario,
@@ -149,6 +152,7 @@ FIGURES: Dict[str, Callable] = {
     "prefetch-ablation": ablation.prefetch_ablation,
     "promotion-threshold": ablation.promotion_threshold_sweep,
     "persistence-interval": ablation.persistence_interval_sweep,
+    "channel-occupancy": occupancy.channel_occupancy_study,
 }
 
 
@@ -332,6 +336,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         backend = _backend_from_args(args)
     except ValueError as exc:
         return _bad_backend(exc)
+    if args.timeline:
+        # Timeline tracing forces the scalar engine path and records
+        # per-request spans, so the cell runs in-process and uncached to
+        # keep cache contents timing-model-pure.
+        result = run_workload(job.workload, job.variant,
+                              timeline=args.timeline, **dict(job.params))
+        print(f"{result.workload} / {result.variant} "
+              f"({result.threads} threads, "
+              f"{result.config.ssd.timing.name} flash)")
+        _print_kv(result.stats.summary())
+        print(f"wrote timeline {args.timeline} "
+              f"(load in https://ui.perfetto.dev or chrome://tracing)")
+        if args.json:
+            Path(args.json).write_text(json.dumps(result.to_dict(), indent=2))
+            print(f"wrote {args.json}")
+        return 0
     result = run_sweep([job], jobs=args.jobs or 1, cache=_cache_from_args(args),
                        backend=backend, policy=_policy_from_args(args))[0]
     print(f"{result.workload} / {result.variant} "
@@ -558,6 +578,20 @@ def cmd_report(args: argparse.Namespace) -> int:
         if backend is not None:
             backend.close()
         builder.render()
+    if not args.no_trends:
+        trends_path = Path(args.trends or os.environ.get("REPRO_TRENDS")
+                           or "benchmarks/trends.ndjson")
+        speed_path = out_dir / "BENCH_speed.json"
+        if not speed_path.exists():
+            speed_path = Path("BENCH_speed.json")
+        row = append_trend(trends_path,
+                           fidelity_path=out_dir / "BENCH_fidelity.json",
+                           speed_path=speed_path)
+        if row is not None:
+            builder.trend_rows = load_trends(trends_path)
+            builder.render()
+            print(f"trends: appended commit {row.get('commit') or '?'} to "
+                  f"{trends_path} ({len(builder.trend_rows)} row(s))")
     _print_cache_summary(store, backend)
     print(f"report: {out_dir / 'REPORT.md'} + {out_dir / 'REPORT.html'}")
     if failures:
@@ -621,6 +655,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"cap {store.max_bytes})")
         return 0
     stats = store.stats()
+    if getattr(args, "json", False):
+        payload = dict(stats)
+        payload["cache_dir"] = str(store.root)
+        remote_hits = REGISTRY.value("repro_remote_cache_hits_total")
+        payload["remote_cache_hits"] = int(remote_hits or 0)
+        payload["metrics"] = REGISTRY.snapshot()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"cache dir: {store.root}")
     print(f"entries:   {stats['entries']}")
     print(f"size:      {stats['size_bytes'] / 1024:.1f} KiB")
@@ -899,6 +941,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["ULL", "ULL2", "SLC", "MLC"])
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--json", default=None, help="write RunResult JSON here")
+    p_run.add_argument("--timeline", default=None, metavar="OUT.json",
+                       help="write a sim-time Chrome-trace-event/Perfetto "
+                            "timeline of the run here (forces the scalar "
+                            "engine path and bypasses the result cache; "
+                            "see docs/OBSERVABILITY.md)")
     _add_device_model_option(p_run)
     _add_common_run_options(p_run)
     p_run.set_defaults(func=cmd_run)
@@ -959,6 +1006,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--output", "-o", default="report_out",
                        help="directory for REPORT.md/REPORT.html, SVGs and "
                             "per-figure JSON (default report_out)")
+    p_rep.add_argument("--trends", default=None, metavar="NDJSON",
+                       help="trend history file appended after the report "
+                            "(default $REPRO_TRENDS or "
+                            "benchmarks/trends.ndjson)")
+    p_rep.add_argument("--no-trends", action="store_true",
+                       help="skip appending to the trend history")
     _add_common_run_options(p_rep)
     p_rep.set_defaults(func=cmd_report)
 
@@ -1078,6 +1131,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("action", nargs="?", default="stats",
                          choices=["stats", "prune", "clear", "path"])
     p_cache.add_argument("--cache-dir", default=None)
+    p_cache.add_argument("--json", action="store_true",
+                         help="machine-readable stats (store counters plus "
+                              "the in-process metrics registry, including "
+                              "remote cache hits)")
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="size cap for stats display and prune "
                               "(default REPRO_CACHE_MAX_BYTES)")

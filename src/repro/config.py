@@ -348,6 +348,34 @@ class DeviceModelConfig:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Sim-time timeline tracing (Chrome trace-event / Perfetto JSON).
+
+    Disabled by default and serialisation-invisible: a default block is
+    omitted from :meth:`SimConfig.to_dict`, so cache keys and golden
+    digests are unchanged unless tracing is switched on.  Tracing also
+    forces the scalar engine path so recorded timings are the exact
+    event-by-event ones.
+    """
+
+    #: Record a timeline for this run.
+    enabled: bool = False
+    #: Hard cap on recorded events; later events are counted as dropped.
+    max_events: int = 200_000
+    #: Emit per-request core->link->device spans (the bulkiest stream);
+    #: False keeps only device-level lanes (flash, GC, write-log, ...).
+    requests: bool = True
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "TraceConfig":
+        return TraceConfig(
+            enabled=bool(data.get("enabled", False)),
+            max_events=int(data.get("max_events", 200_000)),
+            requests=bool(data.get("requests", True)),
+        )
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Top-level simulation configuration."""
 
@@ -373,6 +401,8 @@ class SimConfig:
     qos: QoSConfig = field(default_factory=QoSConfig)
     #: Flash device-model selection; the default is serialisation-invisible.
     device_model: DeviceModelConfig = field(default_factory=DeviceModelConfig)
+    #: Sim-time timeline tracing; the default is serialisation-invisible.
+    trace: TraceConfig = field(default_factory=TraceConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
         """Return a copy with top-level fields replaced."""
@@ -390,6 +420,8 @@ class SimConfig:
             del data["qos"]
         if self.device_model == DeviceModelConfig():
             del data["device_model"]
+        if self.trace == TraceConfig():
+            del data["trace"]
         return data
 
     @staticmethod
@@ -412,6 +444,8 @@ class SimConfig:
             else QoSConfig(),
             device_model=DeviceModelConfig.from_dict(data["device_model"])
             if data.get("device_model") else DeviceModelConfig(),
+            trace=TraceConfig.from_dict(data["trace"])
+            if data.get("trace") else TraceConfig(),
         )
 
     def with_ssd(self, **kwargs) -> "SimConfig":
@@ -433,6 +467,9 @@ class SimConfig:
         return self.replace(
             device_model=dataclasses.replace(self.device_model, **kwargs)
         )
+
+    def with_trace(self, **kwargs) -> "SimConfig":
+        return self.replace(trace=dataclasses.replace(self.trace, **kwargs))
 
 
 # ---------------------------------------------------------------------------

@@ -109,6 +109,14 @@ class LogCompactor:
         if self._stats.enabled:
             self._stats.log_compactions += 1
             self._stats.compaction_ns += completion - now
+        tracer = getattr(self._flash, "tracer", None)
+        if tracer is not None and completion > now:
+            tracer.complete(
+                "writelog.drain", "writelog", "compactor",
+                int(now), int(completion),
+                args={"pages_flushed": pages_flushed,
+                      "generation": buffer.generation},
+            )
         self.active_until = max(self.active_until, completion)
         generation = buffer.generation
 

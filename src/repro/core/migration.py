@@ -112,6 +112,8 @@ class MigrationEngine:
         self.history: List[MigrationRecord] = []
         #: Called after a TLB shootdown so cores can account its cost.
         self.on_tlb_shootdown: Optional[Callable[[float], None]] = None
+        #: Optional sim-time timeline tracer (see :mod:`repro.obs.timeline`).
+        self.tracer = None
 
     # -- SSD-side hook ---------------------------------------------------------
 
@@ -165,6 +167,11 @@ class MigrationEngine:
         if self._stats.enabled:
             self._stats.pages_promoted += 1
         self.history.append(MigrationRecord(page, start_ns, end_ns))
+        if self.tracer is not None:
+            self.tracer.complete(
+                "migration.promote", "migration", "promotions",
+                int(start_ns), int(end_ns), args={"page": page},
+            )
         if self.on_tlb_shootdown is not None:
             self.on_tlb_shootdown(self._config.os.tlb_shootdown_ns)
 
@@ -218,6 +225,11 @@ class MigrationEngine:
         self.policy.forget(page)
         if self._stats.enabled:
             self._stats.pages_demoted += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "migration.demote", "migration", "demotions", int(now),
+                args={"page": page},
+            )
         if self.on_tlb_shootdown is not None:
             self.on_tlb_shootdown(self._config.os.tlb_shootdown_ns)
         return True

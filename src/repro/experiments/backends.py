@@ -60,6 +60,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.experiments.runner import RunResult, default_records
+from repro.obs import REGISTRY
+from repro.obs.spans import SpanContext, current_context
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is runtime-lazy
     from repro.experiments.orchestrator import SweepJob
@@ -358,6 +360,10 @@ class DistributedBackend(SweepBackend):
         self.connect_timeout = connect_timeout
         self.policy = policy if policy is not None else CellPolicy.from_env()
         self.remote_cache_hits = 0
+        #: Trace context of the thread that called :meth:`run`; each
+        #: shipped cell carries a child of it so worker-side spans
+        #: correlate back to the coordinator (``docs/OBSERVABILITY.md``).
+        self._trace_parent: Optional[SpanContext] = None
         self._listener: Optional[socket.socket] = None
         if listen is not None:
             self._listener = socket.create_server(parse_address(listen))
@@ -445,6 +451,13 @@ class DistributedBackend(SweepBackend):
                 seq += 1
                 message = {"type": "job", "id": seq, "key": key}
                 message.update(job_to_wire(job))
+                # Trace context rides as a sibling key: job_from_wire
+                # reads only workload/variant/params, so old workers
+                # ignore it and cache keys are untouched.
+                parent = self._trace_parent
+                cell_ctx = (parent.child() if parent is not None
+                            else SpanContext.new_root())
+                message["trace"] = cell_ctx.to_wire()
                 send_msg(sock, message)
                 try:
                     reply = recv_msg(rfile)
@@ -487,6 +500,9 @@ class DistributedBackend(SweepBackend):
 
     def run(self, pending: Sequence[PendingCell], finish: FinishFn) -> None:
         policy = self.policy
+        # Connection threads start with a fresh contextvar context, so
+        # the caller's trace context is captured here and handed to them.
+        self._trace_parent = current_context()
         job_q: "queue.Queue[PendingCell]" = queue.Queue()
         for cell in pending:
             job_q.put(cell)
@@ -702,6 +718,10 @@ class DistributedBackend(SweepBackend):
                     if worker_id not in quarantined:
                         quarantined.add(worker_id)
                         quarantined.add(label)
+                        REGISTRY.counter(
+                            "repro_worker_quarantine_total",
+                            "workers quarantined mid-sweep",
+                        ).inc()
                         note(f"{label}: quarantined after "
                              f"{worker_failures[worker_id]} failed attempt(s)")
                 if len(history) >= policy.retry_budget:
@@ -756,6 +776,11 @@ class DistributedBackend(SweepBackend):
                         remaining.discard(key)
                         if was_cached:
                             self.remote_cache_hits += 1
+                            REGISTRY.counter(
+                                "repro_remote_cache_hits_total",
+                                "sweep cells answered from a worker-side "
+                                "result cache",
+                            ).inc()
                         finish(key, RunResult.from_dict(payload))
                 elif kind == "fail":
                     _, label, worker_id, cell, error = event

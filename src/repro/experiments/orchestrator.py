@@ -80,6 +80,7 @@ from repro.experiments.backends import (
     resolve_backend,
 )
 from repro.experiments.runner import DEFAULT_SCALE, RunResult, resolve_run, run_workload
+from repro.obs import REGISTRY, span
 from repro.scenarios.library import find_scenario
 from repro.scenarios.tracefile import file_sha256
 from repro.variants import canonical_variant
@@ -451,6 +452,8 @@ class ResultCache:
             size = path.stat().st_size
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            REGISTRY.counter("repro_cache_misses_total",
+                             "result-cache lookups that missed").inc()
             # Counter updates pay the directory lock deliberately: the
             # lifetime stats are exact across processes, and the cost is
             # per simulation cell -- orders of magnitude cheaper than
@@ -463,6 +466,8 @@ class ResultCache:
                     self._write_index(index)
             return None
         self.hits += 1
+        REGISTRY.counter("repro_cache_hits_total",
+                         "result-cache lookups answered from disk").inc()
         with self._lock():
             index = self._read_index()
             index["stats"]["hits"] += 1
@@ -487,6 +492,8 @@ class ResultCache:
         return final.stat().st_size
 
     def put(self, key: str, result: RunResult) -> None:
+        REGISTRY.counter("repro_cache_puts_total",
+                         "results written to the cache").inc()
         size = self._write_blob(key, result)
         final = self.path_for(key)
         with self._lock():
@@ -588,7 +595,8 @@ def _as_job(item: JobLike) -> SweepJob:
 
 
 def _execute_job(job: SweepJob) -> RunResult:
-    return run_workload(job.workload, job.variant, **job.kwargs())
+    with span("sweep.cell", workload=job.workload, variant=job.variant):
+        return run_workload(job.workload, job.variant, **job.kwargs())
 
 
 def _execute_job_dict(job: SweepJob) -> Dict[str, object]:
@@ -678,6 +686,9 @@ def stream_sweep(
         cached = store.get(key) if store is not None else None
         if cached is not None:
             completed += 1
+            REGISTRY.counter("repro_sweep_cells_total",
+                             "completed sweep cells by source",
+                             source="cache").inc()
             yield CellUpdate(
                 job=job_for_key[key], result=cached, source="cache",
                 positions=tuple(positions[key]), completed=completed,
@@ -720,6 +731,9 @@ def stream_sweep(
             _, key, result = event
             done += 1
             completed += 1
+            REGISTRY.counter("repro_sweep_cells_total",
+                             "completed sweep cells by source",
+                             source="run").inc()
             yield CellUpdate(
                 job=job_for_key[key], result=result, source="run",
                 positions=tuple(positions[key]), completed=completed,

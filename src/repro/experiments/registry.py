@@ -63,6 +63,7 @@ from repro.experiments.backends import (
     recv_msg,
     send_msg,
 )
+from repro.obs.log import JsonLinesLogger
 
 #: Default seconds between worker heartbeats.
 HEARTBEAT_INTERVAL = 2.0
@@ -95,6 +96,8 @@ class Registry:
     ) -> None:
         self.stale_after = stale_after
         self._log = log
+        self._logger = (JsonLinesLogger("registry", stream=log)
+                        if log is not None else None)
         self._server = socket.create_server(parse_address(listen))
         self._alive: Dict[str, float] = {}  # address -> last-seen monotonic
         #: address -> connection token of the current registrant, so a
@@ -130,9 +133,9 @@ class Registry:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _say(self, line: str) -> None:
-        if self._log is not None:
-            print(f"registry: {line}", file=self._log, flush=True)
+    def _say(self, event: str, **fields: object) -> None:
+        if self._logger is not None:
+            self._logger.info(event, **fields)
 
     # -- membership --------------------------------------------------------
 
@@ -143,7 +146,7 @@ class Registry:
             if seen < deadline:
                 del self._alive[address]
                 self._owner.pop(address, None)
-                self._say(f"worker {address} stale (no heartbeat), dropped")
+                self._say("worker_stale", address=address)
                 dropped = True
         return dropped
 
@@ -218,7 +221,11 @@ class Registry:
         )
         self._janitor_thread.start()
         host, port = self.address
-        self._say(f"listening on {host}:{port}")
+        if self._log is not None:
+            # Plain text, not JSON: scripts parse this line to learn
+            # the bound port when the listen spec asked for port 0.
+            print(f"registry: listening on {host}:{port}",
+                  file=self._log, flush=True)
 
     def serve_forever(self) -> None:
         """Block serving until :meth:`close` (Ctrl-C exits cleanly)."""
@@ -296,7 +303,7 @@ class Registry:
                 token = self._conn_seq
                 self._alive[address] = time.monotonic()
                 self._owner[address] = token
-            self._say(f"worker {address} joined")
+            self._say("worker_joined", address=address)
             send_msg(sock, {"type": "registered", "ok": True,
                             "steal": self.steal_hints()})
             self._notify_watchers()
@@ -327,7 +334,7 @@ class Registry:
                     else:
                         left = False
                 if left:
-                    self._say(f"worker {address} left")
+                    self._say("worker_left", address=address)
                     self._notify_watchers()
             try:
                 sock.close()
@@ -353,8 +360,10 @@ class Registry:
             self._watchers.append(sock)
             if steal is not None:
                 self._steal[steal] = sock
-        self._say("watcher joined"
-                  + (f" (steal hint {steal})" if steal else ""))
+        if steal:
+            self._say("watcher_joined", steal=steal)
+        else:
+            self._say("watcher_joined")
         try:
             with self._push_lock:
                 send_msg(sock, {"type": "workers", "ok": True,
@@ -366,8 +375,10 @@ class Registry:
             pass
         finally:
             self._drop_watcher(sock)
-            self._say("watcher left"
-                      + (f" (steal hint {steal} withdrawn)" if steal else ""))
+            if steal:
+                self._say("watcher_left", steal=steal)
+            else:
+                self._say("watcher_left")
 
 
 def fetch_workers(

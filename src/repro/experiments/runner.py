@@ -285,6 +285,7 @@ def run_workload(
     ssd_overrides: Optional[Dict[str, object]] = None,
     device_model: Optional[object] = None,
     trace: Optional[str] = None,
+    timeline: Optional[str] = None,
 ) -> RunResult:
     """Simulate one (workload, design) pair and return its stats.
 
@@ -293,6 +294,12 @@ def run_workload(
     tracefile instead of generating traces: the file's embedded config,
     thread count and MLP are used, making replay bit-exact on every
     backend.
+
+    ``timeline`` writes a Chrome-trace-event/Perfetto JSON of the run to
+    the given path (``docs/OBSERVABILITY.md``).  It enables sim-time
+    tracing on the config, which forces the timing-identical scalar
+    engine path; timelined runs bypass the result cache (the orchestrator
+    never passes ``timeline``), so cache keys are unaffected.
     """
     design: DesignVariant = get_variant(variant)
     config, records_per_thread = resolve_run(
@@ -320,8 +327,12 @@ def run_workload(
         traces, mlp = _traces_for(
             workload, config.threads, records_per_thread, scale, seed
         )
+    if timeline is not None:
+        config = config.with_trace(enabled=True)
     system = System(config, traces, design, workload_mlp=mlp)
     stats = system.run(max_ns=max_ns)
+    if timeline is not None and system.tracer is not None:
+        system.tracer.write(timeline)
     return RunResult(
         workload=workload,
         variant=variant,

@@ -46,6 +46,7 @@ without ``fork`` fall back to in-process execution (no preemption).
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import queue
@@ -58,6 +59,10 @@ from typing import Dict, Optional, TextIO, Tuple
 
 from repro.experiments import backends
 from repro.experiments.orchestrator import ResultCache, _execute_job
+from repro.obs import get_logger, span
+from repro.obs.spans import SpanContext, activate, deactivate
+
+log = get_logger("worker")
 
 #: Fork start-method context, or None where unavailable (Windows).
 #: Fork (not spawn) so a cell child inherits the live module state --
@@ -70,6 +75,27 @@ _FORK_CTX = (
 
 #: Seconds a worker waits before re-dialing the same steal hint.
 STEAL_REDIAL_BACKOFF = 5.0
+
+
+@contextlib.contextmanager
+def _cell_scope(message: Dict[str, object], job):
+    """Adopt the coordinator's trace context around one cell.
+
+    The coordinator ships a per-cell ``trace`` context alongside each
+    job (see :meth:`DistributedBackend._serve_connection`); activating
+    it makes this worker's ``worker.cell`` span -- and anything logged
+    under it -- a child of the coordinator's sweep span, so one trace id
+    follows the cell across the wire.  A missing/malformed context just
+    starts a fresh root here.
+    """
+    ctx = SpanContext.from_wire(message.get("trace"))
+    token = activate(ctx) if ctx is not None else None
+    try:
+        with span("worker.cell", workload=job.workload, variant=job.variant):
+            yield
+    finally:
+        if token is not None:
+            deactivate(token)
 
 
 def _cell_child(conn, message: Dict[str, object],
@@ -181,32 +207,38 @@ def serve_connection(
             continue
         try:
             job = backends.job_from_wire(message)
-            cached = cache.get(job.key()) if cache is not None else None
-            if cached is not None:
-                from_cache += 1
-                reply.update(ok=True, cached=True, result=cached.to_dict())
-            elif _FORK_CTX is not None:
-                outcome, payload = _execute_preemptible(sock, rfile, message)
-                if outcome == "eof":
-                    return served, from_cache
-                if outcome == "cancelled":
-                    # The coordinator abandoned this cell; it expects
-                    # no reply and has retried elsewhere.  The slot is
-                    # free again -- serve whatever comes next.
-                    continue
-                if payload.get("ok"):
-                    result = backends.RunResult.from_dict(payload["result"])
+            with _cell_scope(message, job):
+                cached = cache.get(job.key()) if cache is not None else None
+                if cached is not None:
+                    from_cache += 1
+                    reply.update(ok=True, cached=True,
+                                 result=cached.to_dict())
+                elif _FORK_CTX is not None:
+                    outcome, payload = _execute_preemptible(
+                        sock, rfile, message)
+                    if outcome == "eof":
+                        return served, from_cache
+                    if outcome == "cancelled":
+                        # The coordinator abandoned this cell; it expects
+                        # no reply and has retried elsewhere.  The slot is
+                        # free again -- serve whatever comes next.
+                        continue
+                    if payload.get("ok"):
+                        result = backends.RunResult.from_dict(
+                            payload["result"])
+                        if cache is not None:
+                            cache.put(job.key(), result)
+                        reply.update(ok=True, cached=False,
+                                     result=payload["result"])
+                    else:
+                        reply.update(ok=False,
+                                     error=str(payload.get("error")))
+                else:
+                    result = _execute_job(job)
                     if cache is not None:
                         cache.put(job.key(), result)
                     reply.update(ok=True, cached=False,
-                                 result=payload["result"])
-                else:
-                    reply.update(ok=False, error=str(payload.get("error")))
-            else:
-                result = _execute_job(job)
-                if cache is not None:
-                    cache.put(job.key(), result)
-                reply.update(ok=True, cached=False, result=result.to_dict())
+                                 result=result.to_dict())
         except Exception:  # noqa: BLE001 - the coordinator decides what's fatal
             reply.update(ok=False, error=traceback.format_exc())
         served += 1
@@ -264,11 +296,9 @@ def run_worker(
             if sock is None:
                 if connections:
                     return 0  # coordinator is gone; work is done
-                print(
-                    f"worker: could not reach coordinator at "
-                    f"{address[0]}:{address[1]}: {last_error}",
-                    file=sys.stderr,
-                )
+                log.error("coordinator_unreachable",
+                          address=f"{address[0]}:{address[1]}",
+                          error=str(last_error))
                 return 1
             try:
                 with sock:
@@ -339,12 +369,9 @@ def run_worker(
                     # A coordinator that hung up mid-cell (cell timeout,
                     # crash) must not take the worker down with it: log
                     # and serve the next coordinator.
-                    print(
-                        "worker: coordinator %s:%d dropped mid-cell (%s)"
-                        % (*peer[:2], exc),
-                        file=sys.stderr,
-                        flush=True,
-                    )
+                    log.warning("coordinator_dropped_mid_cell",
+                                coordinator="%s:%d" % peer[:2],
+                                error=str(exc))
                     if once:
                         return 1
                     continue
@@ -392,8 +419,8 @@ def _steal_dial(
         with sock:
             served, from_cache = serve_connection(sock, cache)
     except OSError as exc:
-        print(f"worker: stolen coordinator {label} dropped mid-cell "
-              f"({exc})", file=sys.stderr, flush=True)
+        log.warning("stolen_coordinator_dropped_mid_cell",
+                    coordinator=label, error=str(exc))
         return False
     print(
         f"worker: served {served} cell(s) ({from_cache} from cache) "

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.figures.fidelity import FidelityRow, evaluate, expectations_for
 from repro.figures.spec import SPECS, shape_figure
 from repro.figures.svg import render_chart
+from repro.figures.trends import render_markdown as render_trend_markdown
 
 _STATE_LABEL = {
     "pending": "pending",
@@ -92,6 +93,9 @@ class ReportBuilder:
         self._current: Optional[str] = None
         self.figure_wall_s: Dict[str, float] = {}
         self._figure_t0: Dict[str, float] = {}
+        #: Historic trend rows (benchmarks/trends.ndjson), set by the CLI
+        #: once the run completes; rendered as a sparkline table.
+        self.trend_rows: List[Dict[str, object]] = []
 
     # -- lifecycle hooks ---------------------------------------------------
 
@@ -196,6 +200,9 @@ class ReportBuilder:
         else:
             lines.append("No paper expectations registered for the "
                          "selected figures.")
+        if self.trend_rows:
+            lines += ["", "## Trends", ""]
+            lines += render_trend_markdown(self.trend_rows)
         lines += ["", "## Figures", ""]
         for figure in self.figures:
             spec = SPECS[figure]
@@ -254,6 +261,11 @@ class ReportBuilder:
         else:
             parts.append("<p>No paper expectations registered for the "
                          "selected figures.</p>")
+        if self.trend_rows:
+            parts.append("<h2>Trends</h2>")
+            parts.append("<pre>" + _escape_html(
+                "\n".join(render_trend_markdown(self.trend_rows))
+            ) + "</pre>")
         parts.append("<h2>Figures</h2>")
         for figure in self.figures:
             spec = SPECS[figure]

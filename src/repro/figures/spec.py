@@ -471,6 +471,34 @@ def _shape_persistence(data) -> List[Chart]:
     )]
 
 
+def _shape_channel_occupancy(data) -> List[Chart]:
+    """Per-channel busy fraction over sim-time (timeline-derived), with
+    GC campaign occupancy overlaid as its own series."""
+    xs = [float(x) for x in data["window_ms"]]
+    channels = data["channels"]
+    # The palette has 8 hues; GC takes one slot, channels the rest.
+    shown = list(channels)[:7]
+    series = {
+        f"ch {ch}": list(zip(xs, (float(v) for v in channels[ch])))
+        for ch in shown
+    }
+    if any(float(v) > 0 for v in data.get("gc", [])):
+        series["GC"] = list(zip(xs, (float(v) for v in data["gc"])))
+    dropped = len(channels) - len(shown)
+    subtitle = (
+        f"{data.get('workload', '?')} / {data.get('variant', '?')}, deep "
+        f"device model; busy command-time per window (>1 = die overlap)"
+    )
+    if dropped > 0:
+        subtitle += f"; {dropped} channel(s) omitted for palette"
+    return [_line(
+        "Channel occupancy over sim-time (from the timeline trace)",
+        series,
+        "sim-time (ms)", "busy fraction per window",
+        subtitle=subtitle,
+    )]
+
+
 # ---------------------------------------------------------------------------
 # The registry
 # ---------------------------------------------------------------------------
@@ -597,6 +625,13 @@ SPECS: Dict[str, ChartSpec] = {
                   "Base-CSSD, flush interval 50 us..never",
                   "The baseline's dirty-flush durability interval.",
                   _shape_persistence),
+        ChartSpec("channel-occupancy", "Flash channel occupancy",
+                  "repro OBSERVABILITY", "line", "ycsb",
+                  "SkyByte-Full, deep device model, timeline tracing",
+                  "Per-channel flash busy fraction over sim-time windows, "
+                  "derived from the Perfetto timeline trace; GC campaign "
+                  "occupancy overlaid (see docs/OBSERVABILITY.md).",
+                  _shape_channel_occupancy),
     )
 }
 

@@ -1,0 +1,29 @@
+"""Observability: metrics registry, sim-time tracing, structured logs, spans.
+
+The package has four small, independent pieces:
+
+- :mod:`repro.obs.metrics` — a labeled counter/gauge/histogram registry with a
+  Prometheus text renderer.  Disabled (``REPRO_METRICS=0``) it degrades to a
+  shared no-op instrument so instrumented call sites cost one attribute call.
+- :mod:`repro.obs.timeline` — a sim-time tracer emitting Chrome trace-event /
+  Perfetto JSON, opt-in through ``TraceConfig`` on ``SimConfig``.
+- :mod:`repro.obs.log` — a JSON-lines structured logger (level via
+  ``REPRO_LOG``, stderr by default).
+- :mod:`repro.obs.spans` — wall-clock span tracing with a wire/header codec so
+  sweep cells can be correlated coordinator <-> worker.
+"""
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.spans import SpanContext, current_context, span
+from repro.obs.timeline import TimelineTracer
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "SpanContext",
+    "TimelineTracer",
+    "current_context",
+    "get_logger",
+    "span",
+]

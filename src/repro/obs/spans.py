@@ -1,0 +1,112 @@
+"""Wall-clock span tracing with wire/header propagation.
+
+A :class:`SpanContext` names one node in a distributed trace.  The
+coordinator opens a root span per job, every sweep cell runs under a child
+span, and the context rides along as an extra ``"trace"`` key on the TCP
+wire protocol and as an ``X-Repro-Trace`` header on the service HTTP API —
+so a cell's worker-side log lines carry the same ``trace_id`` as the
+coordinator-side job that dispatched it.
+
+Spans publish their duration into the ``repro_span_seconds`` histogram and
+emit a debug log line; both are no-ops unless enabled, so the overhead of an
+un-observed deployment is a contextvar lookup.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import secrets
+import time
+from typing import Iterator, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanContext:
+    """Identity of one span: trace id, own id, optional parent id."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @staticmethod
+    def new_root() -> "SpanContext":
+        return SpanContext(trace_id=secrets.token_hex(8),
+                           span_id=secrets.token_hex(4))
+
+    def child(self) -> "SpanContext":
+        return SpanContext(trace_id=self.trace_id,
+                           span_id=secrets.token_hex(4),
+                           parent_id=self.span_id)
+
+    # -- wire (TCP job messages) and header (HTTP) codecs ------------------
+
+    def to_wire(self) -> dict:
+        data = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id:
+            data["parent_id"] = self.parent_id
+        return data
+
+    @staticmethod
+    def from_wire(data: object) -> Optional["SpanContext"]:
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not trace_id or not span_id:
+            return None
+        return SpanContext(trace_id=str(trace_id), span_id=str(span_id),
+                           parent_id=data.get("parent_id") or None)
+
+    def to_header(self) -> str:
+        return "%s:%s" % (self.trace_id, self.span_id)
+
+    @staticmethod
+    def from_header(value: Optional[str]) -> Optional["SpanContext"]:
+        if not value or ":" not in value:
+            return None
+        trace_id, _sep, span_id = value.partition(":")
+        if not trace_id or not span_id:
+            return None
+        return SpanContext(trace_id=trace_id, span_id=span_id)
+
+
+_current: contextvars.ContextVar[Optional[SpanContext]] = \
+    contextvars.ContextVar("repro_span", default=None)
+
+
+def current_context() -> Optional[SpanContext]:
+    return _current.get()
+
+
+def activate(context: Optional[SpanContext]) -> contextvars.Token:
+    """Install a remote context as the current one (worker side)."""
+    return _current.set(context)
+
+
+def deactivate(token: contextvars.Token) -> None:
+    _current.reset(token)
+
+
+@contextlib.contextmanager
+def span(name: str, **fields) -> Iterator[SpanContext]:
+    """Run a block under a (possibly child) span; time + log it."""
+    parent = _current.get()
+    context = parent.child() if parent else SpanContext.new_root()
+    token = _current.set(context)
+    start = time.monotonic()
+    try:
+        yield context
+    finally:
+        _current.reset(token)
+        elapsed = time.monotonic() - start
+        REGISTRY.histogram(
+            "repro_span_seconds", "Wall-clock span durations", span=name,
+        ).observe(elapsed)
+        get_logger("span").debug(
+            name, trace_id=context.trace_id, span_id=context.span_id,
+            parent_id=context.parent_id, seconds=round(elapsed, 6), **fields)

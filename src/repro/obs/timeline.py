@@ -1,0 +1,113 @@
+"""Sim-time timeline tracer emitting Chrome trace-event / Perfetto JSON.
+
+Events are recorded in simulated nanoseconds and written out in the Chrome
+``traceEvents`` array format (``ts``/``dur`` in microseconds), which both
+``chrome://tracing`` and https://ui.perfetto.dev load directly.
+
+Lanes map onto the trace viewer's process/thread axes: a *process* groups a
+subsystem (``flash``, ``gc``, ``tenant``, ...) and a *thread* is one track
+inside it (``channel 0``, ``tenant A`` ...).  ``lane()`` lazily allocates the
+(pid, tid) pair and emits the ``M`` metadata events that name them in the UI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+
+class TimelineTracer:
+    """Bounded recorder of sim-time spans, instants and counter samples."""
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: List[dict] = []
+        self._meta: List[dict] = []
+        self._lanes: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self._pids: Dict[str, int] = {}
+
+    # -- lane management ---------------------------------------------------
+
+    def lane(self, process: str, thread: str) -> Tuple[int, int]:
+        """(pid, tid) for a named track, creating metadata on first use."""
+        key = (process, thread)
+        ids = self._lanes.get(key)
+        if ids is not None:
+            return ids
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[process] = pid
+            self._meta.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        tid = sum(1 for (p, _t) in self._lanes if p == process) + 1
+        ids = (pid, tid)
+        self._lanes[key] = ids
+        self._meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": thread},
+        })
+        return ids
+
+    # -- event recording ---------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def complete(self, name: str, process: str, thread: str,
+                 start_ns: int, end_ns: int,
+                 args: Optional[dict] = None) -> None:
+        """A span ("X" complete event) on the given lane, in sim-time ns."""
+        pid, tid = self.lane(process, thread)
+        event = {
+            "name": name, "ph": "X", "pid": pid, "tid": tid,
+            "ts": start_ns / 1000.0,
+            "dur": max(end_ns - start_ns, 0) / 1000.0,
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def instant(self, name: str, process: str, thread: str, ts_ns: int,
+                args: Optional[dict] = None) -> None:
+        pid, tid = self.lane(process, thread)
+        event = {
+            "name": name, "ph": "i", "s": "t", "pid": pid, "tid": tid,
+            "ts": ts_ns / 1000.0,
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def counter(self, name: str, process: str, ts_ns: int,
+                values: Dict[str, float]) -> None:
+        pid, _tid = self.lane(process, name)
+        self._append({
+            "name": name, "ph": "C", "pid": pid, "tid": 0,
+            "ts": ts_ns / 1000.0, "args": dict(values),
+        })
+
+    # -- output ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[dict]:
+        return list(self._events)
+
+    def to_chrome(self) -> dict:
+        return {
+            "traceEvents": self._meta + self._events,
+            "displayTimeUnit": "ns",
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle)
+            handle.write("\n")

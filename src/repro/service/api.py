@@ -4,6 +4,10 @@ Stdlib-only (``http.server``): one :class:`ThreadingHTTPServer` whose
 handler reads and writes JSON.  Endpoints::
 
     GET  /health                      liveness probe -> {"ok": true}
+    GET  /healthz                     alias (the conventional probe path)
+    GET  /metrics                     Prometheus text exposition: queue
+                                      depths, active cells, cache hit
+                                      counters, worker fleet state
     GET  /api/status                  backend label, queue counts, cache stats
     GET  /api/jobs[?state=&submitter=]  job summaries, newest first
     POST /api/jobs                    {"kind", "spec", "submitter", "priority"}
@@ -35,6 +39,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import REGISTRY
+from repro.obs.spans import SpanContext
 from repro.service.coordinator import SweepService
 from repro.service.store import JOB_STATES, TERMINAL_STATES
 
@@ -137,8 +143,17 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urlsplit(self.path)
         query = parse_qs(url.query)
-        if url.path == "/health":
+        if url.path in ("/health", "/healthz"):
             self._send_json(200, {"ok": True})
+        elif url.path == "/metrics":
+            self.api.service.publish_metrics()
+            body = REGISTRY.render_prometheus().encode()
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif url.path == "/api/status":
             self._send_json(200, self.api.service.status())
         elif url.path == "/api/jobs":
@@ -189,6 +204,8 @@ class _Handler(BaseHTTPRequestHandler):
                     spec=body.get("spec") or {},
                     submitter=str(body.get("submitter") or "anonymous"),
                     priority=int(body.get("priority") or 0),
+                    trace=SpanContext.from_header(
+                        self.headers.get("X-Repro-Trace")),
                 )
             except (ValueError, KeyError) as exc:
                 self._send_error(400, str(exc))

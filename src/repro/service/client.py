@@ -15,6 +15,7 @@ import urllib.error
 import urllib.request
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.spans import current_context
 from repro.service.store import TERMINAL_STATES
 
 
@@ -39,11 +40,15 @@ class ServiceClient:
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, object]] = None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 headers: Optional[Dict[str, str]] = None):
         data = json.dumps(body).encode() if body is not None else None
+        send_headers = dict(headers or {})
+        if data:
+            send_headers["Content-Type"] = "application/json"
         req = urllib.request.Request(
             self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=send_headers,
         )
         try:
             return urllib.request.urlopen(
@@ -56,8 +61,9 @@ class ServiceClient:
             raise ServiceError(exc.code, message) from None
 
     def _json(self, method: str, path: str,
-              body: Optional[Dict[str, object]] = None):
-        with self._request(method, path, body) as resp:
+              body: Optional[Dict[str, object]] = None,
+              headers: Optional[Dict[str, str]] = None):
+        with self._request(method, path, body, headers=headers) as resp:
             return json.loads(resp.read())
 
     # -- API surface -----------------------------------------------------
@@ -83,10 +89,15 @@ class ServiceClient:
     def submit(self, kind: str, spec: Dict[str, object],
                submitter: str = "anonymous",
                priority: int = 0) -> Dict[str, object]:
+        # An active client-side span rides along so the coordinator's
+        # job (and its workers' cells) correlate with this submission.
+        context = current_context()
+        headers = ({"X-Repro-Trace": context.to_header()}
+                   if context is not None else None)
         return self._json("POST", "/api/jobs", {
             "kind": kind, "spec": spec,
             "submitter": submitter, "priority": priority,
-        })
+        }, headers=headers)
 
     def jobs(self, state: Optional[str] = None,
              submitter: Optional[str] = None) -> List[Dict[str, object]]:

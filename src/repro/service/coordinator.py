@@ -53,6 +53,9 @@ from repro.experiments.orchestrator import (
     sweep_product,
 )
 from repro.experiments.runner import default_records
+from repro.obs import REGISTRY, span
+from repro.obs.log import JsonLinesLogger
+from repro.obs.spans import SpanContext, activate, deactivate
 from repro.service.store import JobStore, SqliteResultCache
 
 #: Job kinds :class:`SweepService` executes.
@@ -109,6 +112,14 @@ class SweepService:
         self._backend_lock = threading.Lock()
         self._stop = threading.Event()
         self._schedulers: List[threading.Thread] = []
+        self._logger = (JsonLinesLogger("serve", stream=log)
+                        if log is not None else None)
+        #: job_id -> submitter's trace context (from the HTTP API's
+        #: ``X-Repro-Trace`` header), adopted when the job runs so
+        #: coordinator- and worker-side spans correlate.  In-memory
+        #: only: a context outliving a coordinator restart has no
+        #: client waiting on it.
+        self._traces: Dict[int, SpanContext] = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -119,17 +130,16 @@ class SweepService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _say(self, line: str) -> None:
-        if self._log is not None:
-            print(f"serve: {line}", file=self._log, flush=True)
+    def _say(self, event: str, **fields: object) -> None:
+        if self._logger is not None:
+            self._logger.info(event, **fields)
 
     def start(self) -> None:
         if self._schedulers:
             return
         requeued = self.store.requeue_running()
         if requeued:
-            self._say(f"resuming {len(requeued)} job(s) found running at "
-                      f"startup: {requeued}")
+            self._say("jobs_requeued_at_startup", jobs=list(requeued))
         for i in range(self.max_active):
             thread = threading.Thread(
                 target=self._scheduler_loop, name=f"serve-scheduler-{i}",
@@ -162,6 +172,7 @@ class SweepService:
         spec: Dict[str, object],
         submitter: str = "anonymous",
         priority: int = 0,
+        trace: Optional[SpanContext] = None,
     ) -> int:
         if kind not in JOB_KINDS:
             raise ValueError(
@@ -172,8 +183,13 @@ class SweepService:
             raise ValueError("job spec must be a JSON object")
         job_id = self.store.submit(kind, spec, submitter=submitter,
                                    priority=priority)
-        self._say(f"job {job_id} ({kind}) queued by {submitter} "
-                  f"priority {priority}")
+        if trace is not None:
+            self._traces[job_id] = trace
+        REGISTRY.counter("repro_service_jobs_submitted_total",
+                         "jobs accepted by the service",
+                         kind=kind).inc()
+        self._say("job_queued", job=job_id, kind=kind,
+                  submitter=submitter, priority=priority)
         return job_id
 
     def artifact_dir(self, job_id: int) -> Path:
@@ -191,23 +207,36 @@ class SweepService:
 
     def _run_job(self, job: Dict[str, object]) -> None:
         job_id = int(job["id"])
-        self._say(f"job {job_id} ({job['kind']}) started")
+        self._say("job_started", job=job_id, kind=job["kind"])
         self.store.add_event(job_id, {"event": "state", "state": "running"})
+        # Adopt the submitter's trace context (if the HTTP API captured
+        # one) so this job's spans -- and via the shared backend, the
+        # per-cell contexts shipped to workers -- correlate with it.
+        token = None
+        trace = self._traces.pop(job_id, None)
+        if trace is not None:
+            token = activate(trace)
         try:
-            if job["kind"] in ("sweep", "scenario"):
-                result = self._run_sweep_job(job_id, job["kind"], job["spec"])
-            else:
-                result = self._run_report_job(job_id, job["spec"])
+            with span("service.job", kind=str(job["kind"]), job=job_id):
+                if job["kind"] in ("sweep", "scenario"):
+                    result = self._run_sweep_job(job_id, job["kind"],
+                                                 job["spec"])
+                else:
+                    result = self._run_report_job(job_id, job["spec"])
         except JobCancelled:
             self.store.mark_cancelled(job_id)
-            self._say(f"job {job_id} cancelled")
+            self._say("job_cancelled", job=job_id)
         except Exception:  # noqa: BLE001 - recorded on the job, queue survives
             error = traceback.format_exc()
             self.store.fail(job_id, error)
-            self._say(f"job {job_id} failed: {error.splitlines()[-1]}")
+            self._say("job_failed", job=job_id,
+                      error=error.splitlines()[-1])
         else:
             self.store.finish(job_id, result)
-            self._say(f"job {job_id} done")
+            self._say("job_done", job=job_id)
+        finally:
+            if token is not None:
+                deactivate(token)
 
     def _check_cancel(self, job_id: int) -> None:
         if self._stop.is_set():
@@ -399,3 +428,29 @@ class SweepService:
             "cache": self.cache.stats(),
             "jobs": self.store.counts(),
         }
+
+    def publish_metrics(self) -> None:
+        """Refresh the service gauges in the global metrics registry.
+
+        Called per ``/metrics`` scrape: gauges are point-in-time reads
+        of the store and cache, so sampling them at scrape time keeps
+        the registry honest without a background sampler thread.
+        """
+        for state, count in self.store.counts().items():
+            REGISTRY.gauge("repro_service_jobs",
+                           "jobs in the store by state",
+                           state=state).set(count)
+        stats = self.cache.stats()
+        for key in ("entries", "size_bytes", "hits", "misses", "puts",
+                    "evictions"):
+            if key in stats:
+                REGISTRY.gauge(f"repro_service_cache_{key}",
+                               f"result cache {key}").set(
+                    float(stats[key]))
+        REGISTRY.gauge("repro_service_max_active",
+                       "concurrent job slots").set(self.max_active)
+        if self._backend is not None:
+            REGISTRY.gauge(
+                "repro_service_remote_cache_hits",
+                "sweep cells answered from worker-side caches",
+            ).set(self._backend.remote_cache_hits)

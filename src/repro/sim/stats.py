@@ -316,6 +316,39 @@ class DeviceStats:
         return device
 
 
+class EngineStats:
+    """Event-engine observability counters (opt-in, tracing runs only).
+
+    Attached as :attr:`SimStats.engine` only when a run is executed with
+    tracing enabled (``SimConfig.trace.enabled``), so ordinary runs
+    serialise (and hash) exactly as before: :meth:`SimStats.to_dict`
+    emits an ``"engine"`` key only when this object is present.
+    """
+
+    def __init__(self) -> None:
+        #: Events executed by the run's :class:`~repro.sim.engine.Engine`.
+        self.events_processed = 0
+        #: Past-time ``schedule_at`` calls the engine clamped to now.
+        self.past_clamps = 0
+
+    def merge(self, other: "EngineStats") -> None:
+        self.events_processed += other.events_processed
+        self.past_clamps += other.past_clamps
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events_processed": self.events_processed,
+            "past_clamps": self.past_clamps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EngineStats":
+        engine = cls()
+        engine.events_processed = int(data["events_processed"])
+        engine.past_clamps = int(data["past_clamps"])
+        return engine
+
+
 #: Plain-number attributes of :class:`SimStats`, serialized verbatim.
 SCALAR_STATS: Tuple[str, ...] = (
     "instructions",
@@ -418,6 +451,9 @@ class SimStats:
 
         # --- deep device model (None on flat runs; see DeviceStats) ---
         self.device: "DeviceStats | None" = None
+
+        # --- engine counters (None unless tracing; see EngineStats) ---
+        self.engine: "EngineStats | None" = None
 
     # -- mutators (no-ops during warmup) ------------------------------------
 
@@ -620,6 +656,10 @@ class SimStats:
             if self.device is None:
                 self.device = DeviceStats()
             self.device.merge(other.device)
+        if other.engine is not None:
+            if self.engine is None:
+                self.engine = EngineStats()
+            self.engine.merge(other.engine)
 
     # -- serialization -------------------------------------------------------
 
@@ -643,6 +683,9 @@ class SimStats:
         # exact pre-deep-model serialisation (golden digests).
         if self.device is not None:
             data["device"] = self.device.to_dict()
+        # Engine counters likewise appear only on tracing runs.
+        if self.engine is not None:
+            data["engine"] = self.engine.to_dict()
         return data
 
     @classmethod
@@ -663,6 +706,8 @@ class SimStats:
         stats.write_locality = LocalityTracker.from_dict(data["write_locality"])
         if data.get("device") is not None:
             stats.device = DeviceStats.from_dict(data["device"])
+        if data.get("engine") is not None:
+            stats.engine = EngineStats.from_dict(data["engine"])
         return stats
 
     def summary(self) -> Dict[str, float]:
@@ -696,4 +741,7 @@ class SimStats:
             )
             out["mean_queue_depth"] = self.device.mean_queue_depth
             out["max_queue_depth"] = float(self.device.max_queue_depth)
+        if self.engine is not None:
+            out["events_processed"] = float(self.engine.events_processed)
+            out["past_clamps"] = float(self.engine.past_clamps)
         return out

@@ -29,10 +29,11 @@ from repro.cxl.protocol import M2SOpcode, MemRequest
 from repro.host.page_table import PageTable
 from repro.host.scheduler import Scheduler
 from repro.host.threads import ThreadContext
+from repro.obs.timeline import TimelineTracer
 from repro.qos import build_tenant_map
 from repro.sim import fastpath
 from repro.sim.engine import Engine
-from repro.sim.stats import HOST_DRAM, SimStats
+from repro.sim.stats import HOST_DRAM, EngineStats, SimStats
 from repro.ssd.base_controller import BaseCSSDController
 from repro.ssd.interface import AccessResult
 from repro.variants import DesignVariant
@@ -57,7 +58,16 @@ class System:
         self.workload_mlp = max(1, workload_mlp)
         self.config = variant.apply(config)
         self.variant = variant
-        self._fast = fastpath.vectorized()
+        #: Sim-time timeline recorder, built only when tracing is on.
+        self.tracer: Optional[TimelineTracer] = None
+        if self.config.trace.enabled:
+            self.tracer = TimelineTracer(
+                max_events=self.config.trace.max_events
+            )
+        # Tracing pins the scalar path: the fused fast path skips the
+        # per-request structures the tracer annotates, and both paths are
+        # timing-identical by construction (pinned in test_fastpath.py).
+        self._fast = fastpath.vectorized() and self.tracer is None
         self.engine = Engine()
         self.stats = SimStats()
         self.link = CXLLink(self.config.cxl, self.stats)
@@ -94,6 +104,10 @@ class System:
         }
 
         self.controller = self._build_controller()
+        if self.tracer is not None and self.controller is not None:
+            flash = getattr(self.controller, "flash", None)
+            if flash is not None:
+                flash.tracer = self.tracer
         self.migration: Optional[MigrationEngine] = None
         if (
             variant.promotion
@@ -112,6 +126,8 @@ class System:
             )
             self.controller.on_page_access = self.migration.on_page_access
             self.migration.on_tlb_shootdown = self._broadcast_shootdown
+            if self.tracer is not None:
+                self.migration.tracer = self.tracer
 
         self.threads = [
             ThreadContext(tid, trace) for tid, trace in enumerate(traces)
@@ -334,6 +350,9 @@ class System:
         protocol = (arrive_dev - now) + (arrive_host - result.complete_ns)
         self.stats.add_amat_extra(protocol=protocol)
         result.breakdown["protocol"] = protocol
+        if self.tracer is not None and self.config.trace.requests:
+            self._trace_request(request, is_write, now, arrive_dev,
+                                result, arrive_host)
         if result.delay_hint:
             # The SkyByte-Delay NDR races ahead of the data.
             decision_ns = result.breakdown.get("indexing", 0.0)
@@ -344,6 +363,33 @@ class System:
         if not is_write and self.stats.enabled:
             self.stats.host_lines_read += 1
         return result
+
+    def _trace_request(
+        self,
+        request: MemRequest,
+        is_write: bool,
+        now: float,
+        arrive_dev: float,
+        result: AccessResult,
+        arrive_host: float,
+    ) -> None:
+        """Per-request spans: whole request plus its link/device phases,
+        on the issuing core's lane."""
+        thread = f"core {request.core}"
+        name = "mem.write" if is_write else "mem.read"
+        device_done = result.complete_ns
+        self.tracer.complete(
+            name, "requests", thread, int(now), int(arrive_host),
+            args={"class": result.request_class, "thread": request.thread},
+        )
+        self.tracer.complete(
+            "cxl.down", "requests", thread, int(now), int(arrive_dev))
+        self.tracer.complete(
+            "device", "requests", thread, int(arrive_dev), int(device_done),
+            args={"class": result.request_class},
+        )
+        self.tracer.complete(
+            "cxl.up", "requests", thread, int(device_done), int(arrive_host))
 
     # -- progress callbacks --------------------------------------------------------------
 
@@ -415,6 +461,13 @@ class System:
         if self.controller is not None:
             self.controller.drain(self.engine.now)
             self.engine.run(until=max_ns)
+        if self.tracer is not None:
+            # Engine counters ride along only on tracing runs so ordinary
+            # results keep their exact pre-observability serialisation.
+            engine_stats = EngineStats()
+            engine_stats.events_processed = self.engine.processed
+            engine_stats.past_clamps = self.engine.past_clamps
+            self.stats.engine = engine_stats
         return self.stats
 
 

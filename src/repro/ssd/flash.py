@@ -235,6 +235,8 @@ class FlashArray:
         #: Optional tenant-QoS admission arbiter (see :mod:`repro.qos`).
         #: ``None`` keeps the unarbitrated fast path untouched.
         self.arbiter = None
+        #: Optional sim-time timeline tracer (see :mod:`repro.obs.timeline`).
+        self.tracer = None
 
     # -- address arithmetic ----------------------------------------------------
 
@@ -279,8 +281,12 @@ class FlashArray:
             done = self._submit_read(index, ppa, issue, on_done)
             self.arbiter.note_completion(index, tenant, done)
         else:
+            issue = now
             done = self._submit_read(index, ppa, now, on_done)
         self._stats.record_flash_read(done - now)
+        if self.tracer is not None:
+            self._trace_op("flash.read", index, now, done, tenant=tenant,
+                           pacing_ns=issue - now)
         return done
 
     def program_page(
@@ -290,7 +296,11 @@ class FlashArray:
         self._check_ppa(ppa)
         if self._stats.enabled:
             self._stats.flash_page_writes += 1
-        return self._submit_program(self.channel_of(ppa), ppa, now, on_done)
+        index = self.channel_of(ppa)
+        done = self._submit_program(index, ppa, now, on_done)
+        if self.tracer is not None:
+            self._trace_op("flash.program", index, now, done)
+        return done
 
     def erase_block(
         self, block: int, now: float, on_done: Optional[Callable[[], None]] = None
@@ -300,7 +310,11 @@ class FlashArray:
             raise ValueError(f"block {block} out of range")
         if self._stats.enabled:
             self._stats.flash_block_erases += 1
-        return self._submit_erase(self.channel_of_block(block), block, now, on_done)
+        index = self.channel_of_block(block)
+        done = self._submit_erase(index, block, now, on_done)
+        if self.tracer is not None:
+            self._trace_op("flash.erase", index, now, done)
+        return done
 
     # -- routing hooks (overridden by :class:`DeepFlashArray`) -------------------
 
@@ -326,6 +340,31 @@ class FlashArray:
     def _check_ppa(self, ppa: int) -> None:
         if not 0 <= ppa < self.geometry.total_pages:
             raise ValueError(f"ppa {ppa} out of range")
+
+    def _trace_op(
+        self,
+        name: str,
+        index: int,
+        start_ns: float,
+        end_ns: float,
+        tenant: Optional[int] = None,
+        pacing_ns: float = 0.0,
+    ) -> None:
+        """Span for one flash op, on its channel lane (and the tenant's)."""
+        args: dict = {"channel": index}
+        if pacing_ns > 0:
+            args["pacing_ns"] = round(pacing_ns, 1)
+        if tenant is not None:
+            args["tenant"] = tenant
+        self.tracer.complete(
+            name, "flash", f"channel {index}", int(start_ns), int(end_ns),
+            args=args,
+        )
+        if tenant is not None:
+            self.tracer.complete(
+                name, "tenant", f"tenant {tenant}", int(start_ns),
+                int(end_ns), args=args,
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -584,6 +623,7 @@ class DeepFlashArray(FlashArray):
             for i in range(geometry.channels)
         ]
         self.arbiter = None
+        self.tracer = None
 
     @property
     def units_per_channel(self) -> int:

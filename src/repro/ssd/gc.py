@@ -112,12 +112,27 @@ class GarbageCollector:
             completion = self._flash.erase_block(victim.index, now)
             self._ftl.release_block(victim)
             freed += 1
+        self._trace_campaign(channel, now, completion, freed, "sync")
 
         def _finish() -> None:
             self._active[channel] = False
 
         self._engine.schedule_at(completion, _finish)
         return completion
+
+    def _trace_campaign(
+        self, channel: int, start_ns: float, end_ns: float, freed: int,
+        mode: str,
+    ) -> None:
+        """Span for a whole campaign on the GC lane of its channel."""
+        tracer = getattr(self._flash, "tracer", None)
+        if tracer is None or end_ns <= start_ns:
+            return
+        tracer.complete(
+            "gc.campaign", "gc", f"channel {channel}",
+            int(start_ns), int(end_ns),
+            args={"channel": channel, "blocks_freed": freed, "mode": mode},
+        )
 
 
 class BackgroundGarbageCollector(GarbageCollector):
@@ -210,6 +225,7 @@ class BackgroundGarbageCollector(GarbageCollector):
             self._ftl.release_block(victim)
             freed += 1
         made_progress = freed > 0
+        self._trace_campaign(channel, now, completion, freed, "background")
 
         def _finish() -> None:
             self._active[channel] = False
